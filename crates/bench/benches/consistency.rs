@@ -1,0 +1,74 @@
+//! **E5 — consistency checking (Definitions 5.3–5.6).**
+//!
+//! `check_object` cost versus history length, `check_database`
+//! (per-object + referential integrity) versus population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::staff_db;
+use tchimera_core::Oid;
+
+fn bench_check_object(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5/check_object");
+    for &updates in &[10usize, 100, 1_000] {
+        let db = staff_db(8, updates, 42);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("history={updates}")),
+            &(),
+            |b, ()| {
+                b.iter(|| db.check_object(Oid(0)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_check_database(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5/check_database");
+    g.sample_size(10);
+    for &n in &[100usize, 1_000, 5_000] {
+        let db = staff_db(n, 10, 42);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("objects={n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| db.check_database());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_invariants(c: &mut Criterion) {
+    // E7 — the four paper invariants over the whole database.
+    let mut g = c.benchmark_group("E7/check_invariants");
+    g.sample_size(10);
+    for &n in &[100usize, 1_000, 5_000] {
+        let db = staff_db(n, 10, 42);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("objects={n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| db.check_invariants());
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_check_object, bench_check_database, bench_invariants
+}
+criterion_main!(benches);

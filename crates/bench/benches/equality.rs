@@ -1,0 +1,72 @@
+//! **E6 — the four equality notions (Definitions 5.7–5.10).**
+//!
+//! Cost of identity / value / instantaneous / weak equality versus the
+//! history length of the compared objects. Identity is O(1); value is
+//! O(runs); the snapshot-based notions scan event points, so they grow
+//! with the number of state changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_core::{attrs, ClassDef, ClassId, Database, Oid, Type, Value};
+
+/// Two fully-temporal objects with `updates` score changes each; the
+/// second lags one instant behind so the snapshot comparisons do real
+/// work.
+fn pair_db(updates: usize) -> (Database, Oid, Oid) {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::new("player").attr("score", Type::temporal(Type::INTEGER)),
+    )
+    .unwrap();
+    let a = db
+        .create_object(&ClassId::from("player"), attrs([("score", Value::Int(0))]))
+        .unwrap();
+    let b = db
+        .create_object(&ClassId::from("player"), attrs([("score", Value::Int(0))]))
+        .unwrap();
+    for k in 0..updates {
+        db.tick();
+        db.set_attr(a, &"score".into(), Value::Int(k as i64)).unwrap();
+        db.set_attr(b, &"score".into(), Value::Int(k as i64 + 1)).unwrap();
+    }
+    db.tick();
+    (db, a, b)
+}
+
+fn bench_equality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6/equality");
+    for &updates in &[10usize, 100, 1_000] {
+        let (db, a, b) = pair_db(updates);
+        let id = format!("history={updates}");
+        g.bench_with_input(BenchmarkId::new("identity", &id), &(), |bn, ()| {
+            bn.iter(|| db.eq_identity(a, b));
+        });
+        g.bench_with_input(BenchmarkId::new("value", &id), &(), |bn, ()| {
+            bn.iter(|| db.eq_value(a, b).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("instantaneous", &id), &(), |bn, ()| {
+            bn.iter(|| db.eq_instantaneous(a, b).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("weak", &id), &(), |bn, ()| {
+            bn.iter(|| db.eq_weak(a, b).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_equality
+}
+criterion_main!(benches);

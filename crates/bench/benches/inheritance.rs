@@ -1,0 +1,104 @@
+//! **E8 — subtyping and substitutability (Section 6).**
+//!
+//! Subtype checks over ISA chains of growing depth (Definition 6.1), lub
+//! computation, and the `view_as` substitutability coercion (Section 6.1)
+//! that snapshots refined temporal attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::deep_chain_db;
+use tchimera_core::{attrs, ClassDef, ClassId, Database, Type, Value};
+
+fn bench_subtype_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8/is_subtype");
+    for &depth in &[1usize, 4, 16, 64] {
+        let db = deep_chain_db(depth);
+        let sub = Type::object(format!("c{depth}").as_str());
+        let sup = Type::object("c0");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("depth={depth}")),
+            &(),
+            |b, ()| {
+                b.iter(|| db.schema().is_subtype(&sub, &sup));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8/lub");
+    for &depth in &[4usize, 16, 64] {
+        // Two siblings hanging off the deep chain: lub walks to the root.
+        let mut db = deep_chain_db(depth);
+        let leaf = format!("c{depth}");
+        db.define_class(ClassDef::new("left").isa(leaf.as_str())).unwrap();
+        db.define_class(ClassDef::new("right").isa(leaf.as_str())).unwrap();
+        let (l, r) = (Type::object("left"), Type::object("right"));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("depth={depth}")),
+            &(),
+            |b, ()| {
+                b.iter(|| db.schema().lub(&l, &r));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_view_as(c: &mut Criterion) {
+    // Coercion cost versus the number of refined (static → temporal)
+    // attributes.
+    let mut g = c.benchmark_group("E8/view_as");
+    for &attrs_n in &[1usize, 8, 32] {
+        let mut db = Database::new();
+        let mut base = ClassDef::new("base");
+        let mut sub = ClassDef::new("sub").isa("base");
+        for k in 0..attrs_n {
+            let name = format!("a{k}");
+            base = base.attr(name.as_str(), Type::INTEGER);
+            sub = sub.attr(name.as_str(), Type::temporal(Type::INTEGER));
+        }
+        db.define_class(base).unwrap();
+        db.define_class(sub).unwrap();
+        let init: Vec<(String, Value)> = (0..attrs_n)
+            .map(|k| (format!("a{k}"), Value::Int(k as i64)))
+            .collect();
+        let oid = db
+            .create_object(
+                &ClassId::from("sub"),
+                attrs(init.iter().map(|(n, v)| (n.as_str(), v.clone()))),
+            )
+            .unwrap();
+        // A little history so the snapshot does real lookups.
+        for _ in 0..10 {
+            db.tick();
+            db.set_attr(oid, &"a0".into(), Value::Int(7)).unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("attrs={attrs_n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| db.view_as(oid, &ClassId::from("base")).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_subtype_depth, bench_lub, bench_view_as
+}
+criterion_main!(benches);

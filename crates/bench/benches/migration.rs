@@ -1,0 +1,103 @@
+//! **E9 — object migration throughput (Section 5.2).**
+//!
+//! Employee ⇄ manager churn versus population size, plus the ablation of
+//! running the full invariant checker (Invariants 5.1–6.2) after every
+//! migration — quantifying what "consistency by construction" saves over
+//! "validate after every operation".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::{all_oids, staff_db};
+use tchimera_core::{attrs, Attrs, ClassId, Value};
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9/migrate");
+    g.sample_size(10);
+    for &n in &[100usize, 1_000] {
+        let base = staff_db(n, 5, 42);
+        let oids = all_oids(&base);
+        let manager = ClassId::from("manager");
+        let employee = ClassId::from("employee");
+        g.bench_with_input(
+            BenchmarkId::new("round-trip", format!("objects={n}")),
+            &(),
+            |b, ()| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut db| {
+                        for &oid in &oids {
+                            db.tick();
+                            db.migrate(
+                                oid,
+                                &manager,
+                                attrs([("officialcar", Value::str("car"))]),
+                            )
+                            .unwrap();
+                            db.tick();
+                            db.migrate(oid, &employee, Attrs::new()).unwrap();
+                        }
+                        db
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_migration_with_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9/migrate+invariant-check");
+    g.sample_size(10);
+    #[allow(clippy::single_element_loop)]
+    for &n in &[100usize] {
+        let base = staff_db(n, 5, 42);
+        let oids = all_oids(&base);
+        let manager = ClassId::from("manager");
+        let employee = ClassId::from("employee");
+        g.bench_with_input(
+            BenchmarkId::new("round-trip", format!("objects={n}")),
+            &(),
+            |b, ()| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut db| {
+                        for &oid in oids.iter().take(16) {
+                            db.tick();
+                            db.migrate(
+                                oid,
+                                &manager,
+                                attrs([("officialcar", Value::str("car"))]),
+                            )
+                            .unwrap();
+                            assert!(db.check_invariants().is_empty());
+                            db.tick();
+                            db.migrate(oid, &employee, Attrs::new()).unwrap();
+                            assert!(db.check_invariants().is_empty());
+                        }
+                        db
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_migration, bench_migration_with_validation
+}
+criterion_main!(benches);

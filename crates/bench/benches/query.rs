@@ -1,0 +1,101 @@
+//! **E10 — TCQL query evaluation.**
+//!
+//! Snapshot (`now`), time-travel (`AS OF`), window (`DURING`) and
+//! temporal-predicate (`SOMETIME`) queries versus database size, plus the
+//! fixed cost of the parse → type-check pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::staff_db;
+use tchimera_query::{check_select, eval_select, parse, Stmt};
+
+fn select_of(src: &str) -> tchimera_query::Select {
+    match parse(src).unwrap() {
+        Stmt::Select(s) => s,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let queries: &[(&str, &str)] = &[
+        ("now", "select e, e.salary from employee e where e.salary > 2500"),
+        ("as-of", "select e, e.salary from employee e as of 15 where e.salary > 2500"),
+        (
+            "during",
+            "select e from employee e during [12, 18] where e.salary > 2500",
+        ),
+        (
+            "sometime",
+            "select e from employee e where sometime(e.salary > 4500)",
+        ),
+        (
+            "snapshot",
+            "select snapshot of e from employee e where e.grade = 5",
+        ),
+    ];
+    let mut g = c.benchmark_group("E10/eval");
+    g.sample_size(10);
+    for &n in &[100usize, 1_000, 10_000] {
+        let db = staff_db(n, 10, 42);
+        for (name, src) in queries {
+            let q = select_of(src);
+            check_select(db.schema(), &q).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(*name, format!("objects={n}")),
+                &(),
+                |b, ()| {
+                    b.iter(|| eval_select(&db, &q).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+
+    // Joins: cross-product evaluation over two range variables.
+    let mut g = c.benchmark_group("E10/join");
+    g.sample_size(10);
+    for &n in &[30usize, 100, 300] {
+        let db = tchimera_bench::org_db(n, 42);
+        let q = select_of(
+            "select e.name, m.name from employee e, employee m where e.boss = m",
+        );
+        check_select(db.schema(), &q).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("boss-join", format!("objects={n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| eval_select(&db, &q).unwrap());
+            },
+        );
+    }
+    g.finish();
+
+    // Front-end fixed costs.
+    let db = staff_db(10, 2, 42);
+    let mut g = c.benchmark_group("E10/frontend");
+    g.bench_function("parse", |b| {
+        b.iter(|| parse("select e, e.salary from employee e where sometime(e.salary > 100) and e.grade <= 5"));
+    });
+    let q = select_of("select e, e.salary from employee e where sometime(e.salary > 100) and e.grade <= 5");
+    g.bench_function("typecheck", |b| {
+        b.iter(|| check_select(db.schema(), &q).unwrap());
+    });
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_queries
+}
+criterion_main!(benches);

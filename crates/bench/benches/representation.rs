@@ -1,0 +1,95 @@
+//! **E4 — the paper's representation claim (Section 3.2).**
+//!
+//! "Usually, the value of a variable of temporal type does not change at
+//! each instant. Therefore, its value can be represented more efficiently
+//! as a set of pairs ⟨interval, value⟩."
+//!
+//! Compares the coalesced `TemporalValue` against the per-instant
+//! `PointHistory` baseline on build, point lookup and domain computation,
+//! sweeping the number of value changes and the run length (instants per
+//! change — the compression factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::{int_history, int_point_history, probe_instants};
+use tchimera_core::Instant;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4/build");
+    for &changes in &[100usize, 1_000, 10_000] {
+        for &run_len in &[1u64, 10, 100] {
+            let id = format!("changes={changes}/run={run_len}");
+            g.bench_with_input(BenchmarkId::new("coalesced", &id), &(), |b, ()| {
+                b.iter(|| int_history(changes, run_len, 42));
+            });
+            // The naive representation materializes run_len points per
+            // change; cap the total to keep the benchmark tractable.
+            if changes as u64 * run_len <= 100_000 {
+                g.bench_with_input(BenchmarkId::new("per-instant", &id), &(), |b, ()| {
+                    b.iter(|| int_point_history(changes, run_len, 42));
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4/lookup");
+    for &changes in &[100usize, 1_000, 10_000] {
+        let run_len = 10u64;
+        let max_t = changes as u64 * run_len;
+        let coalesced = int_history(changes, run_len, 42);
+        let naive = int_point_history(changes, run_len, 42);
+        let probes = probe_instants(1024, max_t, 7);
+        let now = Instant(max_t + 1);
+        let id = format!("changes={changes}");
+        g.bench_with_input(BenchmarkId::new("coalesced", &id), &(), |b, ()| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter_map(|&t| coalesced.value_at(t, now))
+                    .sum::<i64>()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("per-instant", &id), &(), |b, ()| {
+            b.iter(|| probes.iter().filter_map(|&t| naive.value_at(t)).sum::<i64>());
+        });
+    }
+    g.finish();
+}
+
+fn bench_domain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4/domain");
+    for &changes in &[100usize, 1_000] {
+        let run_len = 10u64;
+        let coalesced = int_history(changes, run_len, 42);
+        let naive = int_point_history(changes, run_len, 42);
+        let now = Instant(changes as u64 * run_len + 1);
+        let id = format!("changes={changes}");
+        g.bench_with_input(BenchmarkId::new("coalesced", &id), &(), |b, ()| {
+            b.iter(|| coalesced.domain(now));
+        });
+        g.bench_with_input(BenchmarkId::new("per-instant", &id), &(), |b, ()| {
+            b.iter(|| naive.domain());
+        });
+    }
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_build, bench_lookup, bench_domain
+}
+criterion_main!(benches);

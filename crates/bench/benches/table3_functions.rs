@@ -1,0 +1,96 @@
+//! **E2 — the Table 3 model-function inventory.**
+//!
+//! Microbenchmarks every function the paper's Table 3 uses to define the
+//! model: `T⁻`, `π`, `type`/`h_type`/`s_type`, `h_state`/`s_state`,
+//! `o_lifespan`/`c_lifespan`, `ref`, `snapshot`, over a populated staff
+//! database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tchimera_bench::{all_oids, staff_db};
+use tchimera_core::{ClassId, Instant, Type};
+
+fn bench_table3(c: &mut Criterion) {
+    let db = staff_db(1_000, 20, 42);
+    let oids = all_oids(&db);
+    let employee = ClassId::from("employee");
+    let t_mid = Instant(15);
+    let mut g = c.benchmark_group("E2/table3");
+
+    g.bench_function("t_minus", |b| {
+        let ty = Type::temporal(Type::INTEGER);
+        b.iter(|| ty.strip_temporal().cloned());
+    });
+    g.bench_function("pi", |b| {
+        b.iter(|| db.pi(&employee, t_mid).unwrap());
+    });
+    g.bench_function("type_of", |b| {
+        b.iter(|| db.type_of(&employee).unwrap());
+    });
+    g.bench_function("h_type", |b| {
+        b.iter(|| db.h_type(&employee).unwrap());
+    });
+    g.bench_function("s_type", |b| {
+        b.iter(|| db.s_type(&employee).unwrap());
+    });
+    g.bench_function("h_state", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % oids.len();
+            db.h_state(oids[k], t_mid).unwrap()
+        });
+    });
+    g.bench_function("s_state", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % oids.len();
+            db.s_state(oids[k]).unwrap()
+        });
+    });
+    g.bench_function("o_lifespan", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % oids.len();
+            db.o_lifespan(oids[k]).unwrap()
+        });
+    });
+    g.bench_function("c_lifespan", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % oids.len();
+            db.c_lifespan(oids[k], &employee).unwrap()
+        });
+    });
+    g.bench_function("ref", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % oids.len();
+            db.refs(oids[k], t_mid).unwrap()
+        });
+    });
+    g.bench_function("snapshot_now", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % oids.len();
+            db.snapshot(oids[k], db.now()).unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_table3
+}
+criterion_main!(benches);

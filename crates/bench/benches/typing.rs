@@ -1,0 +1,90 @@
+//! **E3 — typing-rule throughput (Definitions 3.5/3.6).**
+//!
+//! Measures `value_in_type` (extension membership) and `infer_type`
+//! (type deduction) on values of increasing structural size, including
+//! oid-bearing temporal histories whose membership checks consult class
+//! extents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::{all_oids, staff_db};
+use tchimera_core::{Instant, Interval, TemporalValue, Type, Value};
+
+fn bench_typing(c: &mut Criterion) {
+    let db = staff_db(200, 10, 42);
+    let oids = all_oids(&db);
+    let t = Instant(15);
+    let mut g = c.benchmark_group("E3/typing");
+
+    // Flat values of growing width.
+    for &n in &[10usize, 100, 1_000] {
+        let v = Value::set((0..n as i64).map(Value::Int));
+        let ty = Type::set_of(Type::INTEGER);
+        g.bench_with_input(BenchmarkId::new("check/set-int", n), &(), |b, ()| {
+            b.iter(|| db.value_in_type(&v, &ty, t));
+        });
+        g.bench_with_input(BenchmarkId::new("infer/set-int", n), &(), |b, ()| {
+            b.iter(|| db.infer_type(&v, t).unwrap());
+        });
+    }
+
+    // Oid sets: membership consults π.
+    for &n in &[10usize, 100] {
+        let v = Value::set(oids.iter().take(n).map(|&i| Value::Oid(i)));
+        let ty = Type::set_of(Type::object("person"));
+        g.bench_with_input(BenchmarkId::new("check/set-oid", n), &(), |b, ()| {
+            b.iter(|| db.value_in_type(&v, &ty, t));
+        });
+        g.bench_with_input(BenchmarkId::new("infer/set-oid", n), &(), |b, ()| {
+            b.iter(|| db.infer_type(&v, t).unwrap());
+        });
+    }
+
+    // Temporal values: each run checked over its own interval.
+    for &runs in &[10usize, 100] {
+        let h = TemporalValue::from_pairs((0..runs).map(|k| {
+            (
+                Interval::from_ticks(10 + k as u64 * 2, 11 + k as u64 * 2),
+                Value::Oid(oids[k % oids.len()]),
+            )
+        }))
+        .unwrap();
+        let v = Value::Temporal(h);
+        let ty = Type::temporal(Type::object("person"));
+        g.bench_with_input(BenchmarkId::new("check/temporal-oid", runs), &(), |b, ()| {
+            b.iter(|| db.value_in_type(&v, &ty, t));
+        });
+    }
+
+    // Deep records.
+    let deep = {
+        let mut v = Value::Int(1);
+        let mut ty = Type::INTEGER;
+        for k in 0..32 {
+            v = Value::record([(format!("f{k}").as_str(), v)]);
+            ty = Type::record_of([(format!("f{k}").as_str(), ty)]);
+        }
+        (v, ty)
+    };
+    g.bench_function("check/deep-record-32", |b| {
+        b.iter(|| db.value_in_type(&deep.0, &deep.1, t));
+    });
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable, allocation-free workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_typing
+}
+criterion_main!(benches);

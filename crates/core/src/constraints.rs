@@ -1,0 +1,459 @@
+//! Temporal integrity constraints.
+//!
+//! The paper's future-work list (Section 7) calls for "a temporal integrity
+//! constraint language … [to] express constraints based on past histories
+//! of objects". This module provides a small, closed constraint algebra
+//! over attribute histories, evaluated against the extent of a class.
+
+use std::fmt;
+
+use tchimera_temporal::{Instant, IntervalSet};
+
+use crate::database::Database;
+use crate::ident::{AttrName, ClassId, Oid};
+use crate::value::Value;
+
+/// Temporal quantification over an object's membership period.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quantifier {
+    /// The condition must hold at every instant of the membership period.
+    Always,
+    /// The condition must hold at some instant of the membership period.
+    Sometime,
+}
+
+/// A temporal integrity constraint over the members of a class.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Constraint {
+    /// The (temporal) attribute must be defined at every instant of the
+    /// object's membership in the class.
+    Covered {
+        /// The constrained class.
+        class: ClassId,
+        /// The attribute.
+        attr: AttrName,
+    },
+    /// The history of the attribute must be non-decreasing over time
+    /// (e.g. a salary that can only grow).
+    NonDecreasing {
+        /// The constrained class.
+        class: ClassId,
+        /// The attribute.
+        attr: AttrName,
+    },
+    /// The attribute must be constant over the object's lifetime — the
+    /// paper's *immutable* attribute expressed as a history constraint
+    /// ("their value is a constant function", Section 1.1).
+    ConstantHistory {
+        /// The constrained class.
+        class: ClassId,
+        /// The attribute.
+        attr: AttrName,
+    },
+    /// The attribute value must lie within `[min, max]` (inclusive, by the
+    /// total value order), always or at some time.
+    InRange {
+        /// The constrained class.
+        class: ClassId,
+        /// The attribute.
+        attr: AttrName,
+        /// Lower bound.
+        min: Value,
+        /// Upper bound.
+        max: Value,
+        /// Temporal quantifier.
+        quantifier: Quantifier,
+    },
+    /// The attribute must never hold `null` while the object is a member.
+    NeverNull {
+        /// The constrained class.
+        class: ClassId,
+        /// The attribute.
+        attr: AttrName,
+    },
+}
+
+impl Constraint {
+    /// The class the constraint ranges over.
+    pub fn class(&self) -> &ClassId {
+        match self {
+            Constraint::Covered { class, .. }
+            | Constraint::NonDecreasing { class, .. }
+            | Constraint::ConstantHistory { class, .. }
+            | Constraint::InRange { class, .. }
+            | Constraint::NeverNull { class, .. } => class,
+        }
+    }
+
+    /// The attribute the constraint ranges over.
+    pub fn attr(&self) -> &AttrName {
+        match self {
+            Constraint::Covered { attr, .. }
+            | Constraint::NonDecreasing { attr, .. }
+            | Constraint::ConstantHistory { attr, .. }
+            | Constraint::InRange { attr, .. }
+            | Constraint::NeverNull { attr, .. } => attr,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Covered { class, attr } => {
+                write!(f, "covered({class}.{attr})")
+            }
+            Constraint::NonDecreasing { class, attr } => {
+                write!(f, "non-decreasing({class}.{attr})")
+            }
+            Constraint::ConstantHistory { class, attr } => {
+                write!(f, "constant({class}.{attr})")
+            }
+            Constraint::InRange {
+                class,
+                attr,
+                min,
+                max,
+                quantifier,
+            } => {
+                let q = match quantifier {
+                    Quantifier::Always => "always",
+                    Quantifier::Sometime => "sometime",
+                };
+                write!(f, "{q} {min} <= {class}.{attr} <= {max}")
+            }
+            Constraint::NeverNull { class, attr } => {
+                write!(f, "never-null({class}.{attr})")
+            }
+        }
+    }
+}
+
+/// A violation of a temporal integrity constraint by one object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConstraintViolation {
+    /// The violating object.
+    pub oid: Oid,
+    /// A rendering of the violated constraint.
+    pub constraint: String,
+    /// A witness instant where the violation manifests (when applicable).
+    pub at: Option<Instant>,
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(t) => write!(f, "{} violates {} at {t}", self.oid, self.constraint),
+            None => write!(f, "{} violates {}", self.oid, self.constraint),
+        }
+    }
+}
+
+impl Database {
+    /// Evaluate a constraint against every object that has ever been a
+    /// member of its class, returning all violations.
+    pub fn check_constraint(&self, c: &Constraint) -> Vec<ConstraintViolation> {
+        let now = self.now();
+        let mut out = Vec::new();
+        let Ok(class) = self.schema().class(c.class()) else {
+            return out;
+        };
+        let members: Vec<Oid> = class.ever_members().collect();
+        for oid in members {
+            let membership = class.membership_of(oid, now);
+            let Ok(o) = self.object(oid) else { continue };
+            let history = o.attr(c.attr()).and_then(Value::as_temporal);
+            match c {
+                Constraint::Covered { .. } => {
+                    let covered = history.map(|h| h.domain(now)).unwrap_or_default();
+                    let missing = membership.difference(&covered);
+                    if let Some(t) = missing.min() {
+                        out.push(ConstraintViolation {
+                            oid,
+                            constraint: c.to_string(),
+                            at: Some(t),
+                        });
+                    }
+                }
+                Constraint::NonDecreasing { .. } => {
+                    if let Some(h) = history {
+                        let runs = h.resolved_pairs(now);
+                        for w in runs.windows(2) {
+                            if w[1].1 < w[0].1 {
+                                out.push(ConstraintViolation {
+                                    oid,
+                                    constraint: c.to_string(),
+                                    at: w[1].0.lo(),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+                Constraint::ConstantHistory { .. } => {
+                    if let Some(h) = history {
+                        let runs = h.resolved_pairs(now);
+                        if let Some(first) = runs.first() {
+                            if let Some(bad) = runs.iter().find(|(_, v)| *v != first.1) {
+                                out.push(ConstraintViolation {
+                                    oid,
+                                    constraint: c.to_string(),
+                                    at: bad.0.lo(),
+                                });
+                            }
+                        }
+                    } else if let Some(_v) = o.attr(c.attr()) {
+                        // Static attribute: constancy over time is not
+                        // checkable (the past is not recorded); treated as
+                        // satisfied.
+                    }
+                }
+                Constraint::InRange {
+                    min,
+                    max,
+                    quantifier,
+                    ..
+                } => {
+                    let in_range = |v: &Value| !v.is_null() && min <= v && v <= max;
+                    match history {
+                        Some(h) => {
+                            let relevant: Vec<(tchimera_temporal::Interval, &Value)> = h
+                                .resolved_pairs(now)
+                                .into_iter()
+                                .filter(|(iv, _)| {
+                                    !IntervalSet::from(*iv)
+                                        .intersection(&membership)
+                                        .is_empty()
+                                })
+                                .collect();
+                            match quantifier {
+                                Quantifier::Always => {
+                                    if let Some((iv, _)) =
+                                        relevant.iter().find(|(_, v)| !in_range(v))
+                                    {
+                                        out.push(ConstraintViolation {
+                                            oid,
+                                            constraint: c.to_string(),
+                                            at: iv.lo(),
+                                        });
+                                    }
+                                }
+                                Quantifier::Sometime => {
+                                    if !relevant.iter().any(|(_, v)| in_range(v)) {
+                                        out.push(ConstraintViolation {
+                                            oid,
+                                            constraint: c.to_string(),
+                                            at: None,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            // Static attribute: only the current value is
+                            // examinable.
+                            let current = o.attr(c.attr()).cloned().unwrap_or(Value::Null);
+                            let ok = in_range(&current);
+                            let violated = match quantifier {
+                                Quantifier::Always => !ok,
+                                Quantifier::Sometime => !ok,
+                            };
+                            if violated && membership.contains(now) {
+                                out.push(ConstraintViolation {
+                                    oid,
+                                    constraint: c.to_string(),
+                                    at: Some(now),
+                                });
+                            }
+                        }
+                    }
+                }
+                Constraint::NeverNull { .. } => match history {
+                    Some(h) => {
+                        if let Some(e) = h
+                            .entries()
+                            .iter()
+                            .find(|e| e.value.is_null() && !e.interval(now).is_empty())
+                        {
+                            out.push(ConstraintViolation {
+                                oid,
+                                constraint: c.to_string(),
+                                at: Some(e.start),
+                            });
+                        } else {
+                            let covered = h.domain(now);
+                            let missing = membership.difference(&covered);
+                            if let Some(t) = missing.min() {
+                                out.push(ConstraintViolation {
+                                    oid,
+                                    constraint: c.to_string(),
+                                    at: Some(t),
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        let current = o.attr(c.attr()).cloned().unwrap_or(Value::Null);
+                        if current.is_null() && membership.contains(now) {
+                            out.push(ConstraintViolation {
+                                oid,
+                                constraint: c.to_string(),
+                                at: Some(now),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Evaluate many constraints, concatenating violations.
+    pub fn check_constraints(&self, cs: &[Constraint]) -> Vec<ConstraintViolation> {
+        cs.iter().flat_map(|c| self.check_constraint(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use crate::database::attrs;
+    use crate::types::Type;
+
+    fn db() -> (Database, Oid) {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::new("employee")
+                .attr("salary", Type::temporal(Type::INTEGER))
+                .attr("grade", Type::INTEGER),
+        )
+        .unwrap();
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("salary", Value::Int(100)), ("grade", Value::Int(1))]),
+            )
+            .unwrap();
+        (db, i)
+    }
+
+    #[test]
+    fn non_decreasing_salary() {
+        let (mut db, i) = db();
+        let c = Constraint::NonDecreasing {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("salary"),
+        };
+        db.tick_by(10);
+        db.set_attr(i, &"salary".into(), Value::Int(150)).unwrap();
+        assert!(db.check_constraint(&c).is_empty());
+        db.tick_by(10);
+        db.set_attr(i, &"salary".into(), Value::Int(90)).unwrap();
+        let v = db.check_constraint(&c);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oid, i);
+        assert_eq!(v[0].at, Some(Instant(20)));
+        assert!(v[0].to_string().contains("non-decreasing"));
+    }
+
+    #[test]
+    fn constant_history() {
+        let (mut db, i) = db();
+        let c = Constraint::ConstantHistory {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("salary"),
+        };
+        assert!(db.check_constraint(&c).is_empty());
+        db.tick_by(5);
+        db.set_attr(i, &"salary".into(), Value::Int(101)).unwrap();
+        assert_eq!(db.check_constraint(&c).len(), 1);
+    }
+
+    #[test]
+    fn in_range_always_and_sometime() {
+        let (mut db, i) = db();
+        let always = Constraint::InRange {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("salary"),
+            min: Value::Int(50),
+            max: Value::Int(200),
+            quantifier: Quantifier::Always,
+        };
+        let sometime_high = Constraint::InRange {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("salary"),
+            min: Value::Int(500),
+            max: Value::Int(1000),
+            quantifier: Quantifier::Sometime,
+        };
+        assert!(db.check_constraint(&always).is_empty());
+        assert_eq!(db.check_constraint(&sometime_high).len(), 1);
+        db.tick_by(5);
+        db.set_attr(i, &"salary".into(), Value::Int(600)).unwrap();
+        assert!(db.check_constraint(&sometime_high).is_empty());
+        db.tick_by(5);
+        db.set_attr(i, &"salary".into(), Value::Int(10)).unwrap();
+        let v = db.check_constraint(&always);
+        assert_eq!(v.len(), 1);
+        // The first out-of-range run is the 600 at t=5 (a violation too).
+        assert_eq!(v[0].at, Some(Instant(5)));
+    }
+
+    #[test]
+    fn never_null_and_covered() {
+        let (mut db, i) = db();
+        let nn = Constraint::NeverNull {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("salary"),
+        };
+        let cov = Constraint::Covered {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("salary"),
+        };
+        assert!(db.check_constraint(&nn).is_empty());
+        assert!(db.check_constraint(&cov).is_empty());
+        db.tick_by(5);
+        db.set_attr(i, &"salary".into(), Value::Null).unwrap();
+        assert_eq!(db.check_constraint(&nn).len(), 1);
+        // Static attribute variant.
+        let nn_static = Constraint::NeverNull {
+            class: ClassId::from("employee"),
+            attr: AttrName::from("grade"),
+        };
+        assert!(db.check_constraint(&nn_static).is_empty());
+        db.set_attr(i, &"grade".into(), Value::Null).unwrap();
+        assert_eq!(db.check_constraint(&nn_static).len(), 1);
+    }
+
+    #[test]
+    fn check_constraints_batches() {
+        let (mut db, i) = db();
+        db.tick_by(5);
+        db.set_attr(i, &"salary".into(), Value::Int(50)).unwrap();
+        let cs = vec![
+            Constraint::NonDecreasing {
+                class: ClassId::from("employee"),
+                attr: AttrName::from("salary"),
+            },
+            Constraint::ConstantHistory {
+                class: ClassId::from("employee"),
+                attr: AttrName::from("salary"),
+            },
+        ];
+        let v = db.check_constraints(&cs);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn unknown_class_yields_no_violations() {
+        let (db, _) = db();
+        let c = Constraint::NeverNull {
+            class: ClassId::from("ghost"),
+            attr: AttrName::from("x"),
+        };
+        assert!(db.check_constraint(&c).is_empty());
+        assert_eq!(c.class(), &ClassId::from("ghost"));
+        assert_eq!(c.attr(), &AttrName::from("x"));
+    }
+}

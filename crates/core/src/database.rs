@@ -1,0 +1,1166 @@
+//! The database: objects, classes, the logical clock, and the model
+//! functions of Table 3.
+
+use std::collections::BTreeMap;
+
+use tchimera_temporal::{Instant, IntervalSet, Lifespan, TemporalValue};
+
+use crate::class::{Class, ClassDef};
+use crate::error::{ModelError, Result};
+use crate::ident::{AttrName, ClassId, Oid};
+use crate::object::Object;
+use crate::schema::Schema;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Attribute-value bindings supplied to creation and migration operations.
+pub type Attrs = BTreeMap<AttrName, Value>;
+
+/// Build an [`Attrs`] map from `(name, value)` pairs.
+pub fn attrs<N, I>(pairs: I) -> Attrs
+where
+    N: Into<AttrName>,
+    I: IntoIterator<Item = (N, Value)>,
+{
+    pairs.into_iter().map(|(n, v)| (n.into(), v)).collect()
+}
+
+/// A T_Chimera database: a schema, a set of objects, and a discrete
+/// logical clock.
+///
+/// The clock realizes the paper's `TIME = {0, 1, …, now, …}`: `now` is
+/// [`Database::now`] and advances via [`Database::tick`] /
+/// [`Database::advance_to`]. All mutating operations happen *at* the
+/// current instant; histories grow forward and the past is immutable
+/// (valid-time semantics, one linear discrete time dimension — Table 1,
+/// "Our model" row).
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    schema: Schema,
+    objects: BTreeMap<Oid, Object>,
+    clock: Instant,
+    next_oid: u64,
+}
+
+impl Database {
+    /// An empty database with the clock at `0`.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Clock
+    // ------------------------------------------------------------------
+
+    /// The current time (the paper's `now`).
+    #[inline]
+    pub fn now(&self) -> Instant {
+        self.clock
+    }
+
+    /// Advance the clock by one instant and return the new `now`.
+    pub fn tick(&mut self) -> Instant {
+        self.clock = self.clock.next();
+        self.clock
+    }
+
+    /// Advance the clock by `n` instants.
+    pub fn tick_by(&mut self, n: u64) -> Instant {
+        self.clock = self.clock.advance(n);
+        self.clock
+    }
+
+    /// Move the clock to `t`; time never flows backwards.
+    pub fn advance_to(&mut self, t: Instant) -> Result<Instant> {
+        if t < self.clock {
+            return Err(ModelError::ClockMovedBackwards {
+                to: t,
+                now: self.clock,
+            });
+        }
+        self.clock = t;
+        Ok(self.clock)
+    }
+
+    // ------------------------------------------------------------------
+    // Schema operations
+    // ------------------------------------------------------------------
+
+    /// Define a class at the current instant (Definition 4.1).
+    pub fn define_class(&mut self, def: ClassDef) -> Result<()> {
+        self.schema.define(def, self.clock).map(|_| ())
+    }
+
+    /// Delete a class at the current instant (its lifespan is terminated;
+    /// it must have no alive subclasses and an empty extent).
+    pub fn drop_class(&mut self, name: &ClassId) -> Result<()> {
+        self.schema.drop_class(name, self.clock)
+    }
+
+    /// The schema (classes and ISA hierarchy).
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Class lookup.
+    pub fn class(&self, name: &ClassId) -> Result<&Class> {
+        self.schema.class(name)
+    }
+
+    /// Update a c-attribute of a class. Temporal c-attributes record the
+    /// change at `now`; static ones are overwritten in place (Section 2:
+    /// c-attributes record information like the average age of employees).
+    pub fn set_c_attr(
+        &mut self,
+        class: &ClassId,
+        attr: &AttrName,
+        value: Value,
+    ) -> Result<()> {
+        let now = self.clock;
+        let c = self.schema.class(class)?;
+        if !c.lifespan.is_alive() {
+            return Err(ModelError::ClassDead(class.clone()));
+        }
+        let decl = c
+            .c_attrs
+            .get(attr)
+            .ok_or_else(|| ModelError::UnknownClassAttribute {
+                class: class.clone(),
+                attr: attr.clone(),
+            })?
+            .clone();
+        let expected = decl
+            .ty
+            .strip_temporal()
+            .cloned()
+            .unwrap_or_else(|| decl.ty.clone());
+        if !self.value_in_type(&value, &expected, now) {
+            return Err(ModelError::TypeMismatch {
+                expected,
+                value: value.to_string(),
+            });
+        }
+        let c = self.schema.class_mut(class)?;
+        let slot = c.c_attr_values.get_mut(attr).expect("declared");
+        if decl.ty.is_temporal() {
+            match slot {
+                Value::Temporal(h) => h.set_from(now, value)?,
+                _ => *slot = Value::Temporal(TemporalValue::starting_at(now, value)),
+            }
+        } else {
+            *slot = value;
+        }
+        Ok(())
+    }
+
+    /// Read a c-attribute of a class (temporal c-attributes yield their
+    /// full history as a [`Value::Temporal`]).
+    pub fn c_attr(&self, class: &ClassId, attr: &AttrName) -> Result<&Value> {
+        let c = self.schema.class(class)?;
+        c.c_attr_values
+            .get(attr)
+            .ok_or_else(|| ModelError::UnknownClassAttribute {
+                class: class.clone(),
+                attr: attr.clone(),
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle
+    // ------------------------------------------------------------------
+
+    /// Create an object as an instance of `class` at the current instant.
+    ///
+    /// `init` supplies initial attribute values:
+    ///
+    /// * a static attribute takes the supplied value (or `null`);
+    /// * a temporal attribute `temporal(T)` takes either a plain value of
+    ///   `T` — the history then starts as `⟨[now, now], v⟩` growing with
+    ///   the clock — or a full [`Value::Temporal`] history (used by bulk
+    ///   loaders), each run of which must type-check;
+    /// * every supplied value must belong to the extension of the declared
+    ///   domain (Definition 3.5); attributes not supplied start as `null`.
+    ///
+    /// The object becomes an *instance* of `class` and a *member* of every
+    /// superclass (Section 3.2), and the class extents are updated so that
+    /// Invariants 5.1 and 5.2 hold.
+    pub fn create_object(&mut self, class: &ClassId, init: Attrs) -> Result<Oid> {
+        let now = self.clock;
+        let c = self.schema.class(class)?;
+        if !c.lifespan.is_alive() {
+            return Err(ModelError::ClassDead(class.clone()));
+        }
+        let decls: Vec<(AttrName, crate::class::AttrDecl)> = c
+            .all_attrs
+            .iter()
+            .map(|(n, d)| (n.clone(), d.clone()))
+            .collect();
+        // Reject values for undeclared attributes.
+        for name in init.keys() {
+            if !decls.iter().any(|(n, _)| n == name) {
+                return Err(ModelError::UnexpectedAttribute {
+                    class: class.clone(),
+                    attr: name.clone(),
+                });
+            }
+        }
+        let mut init = init;
+        let mut attr_values: BTreeMap<AttrName, Value> = BTreeMap::new();
+        for (name, decl) in &decls {
+            let supplied = init.remove(name).unwrap_or(Value::Null);
+            let stored = self.init_attr_value(class, name, decl, supplied, now)?;
+            attr_values.insert(name.clone(), stored);
+        }
+
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        let object = Object {
+            oid,
+            lifespan: Lifespan::starting_at(now),
+            attrs: attr_values,
+            class_history: TemporalValue::starting_at(now, class.clone()),
+        };
+        self.objects.insert(oid, object);
+
+        // Maintain extents: instance of `class`, member of it and of all
+        // its superclasses.
+        self.open_membership(oid, class, now)?;
+        Ok(oid)
+    }
+
+    fn init_attr_value(
+        &self,
+        class: &ClassId,
+        name: &AttrName,
+        decl: &crate::class::AttrDecl,
+        supplied: Value,
+        now: Instant,
+    ) -> Result<Value> {
+        match decl.ty.strip_temporal() {
+            Some(inner) => match supplied {
+                Value::Temporal(h) => {
+                    for e in h.entries() {
+                        let iv = e.interval(now);
+                        if !iv.is_empty()
+                            && !self.value_in_type_over(&e.value, inner, iv, now)
+                        {
+                            return Err(ModelError::TypeMismatch {
+                                expected: decl.ty.clone(),
+                                value: e.value.to_string(),
+                            });
+                        }
+                    }
+                    Ok(Value::Temporal(h))
+                }
+                v => {
+                    if !self.value_in_type(&v, inner, now) {
+                        return Err(ModelError::TypeMismatch {
+                            expected: inner.clone(),
+                            value: v.to_string(),
+                        });
+                    }
+                    Ok(Value::Temporal(TemporalValue::starting_at(now, v)))
+                }
+            },
+            None => {
+                if !self.value_in_type(&supplied, &decl.ty, now) {
+                    return Err(ModelError::TypeMismatch {
+                        expected: decl.ty.clone(),
+                        value: supplied.to_string(),
+                    });
+                }
+                let _ = (class, name);
+                Ok(supplied)
+            }
+        }
+    }
+
+    /// Open membership runs for `oid` as an instance of `class` (and a
+    /// member of all its superclasses) from `now`.
+    fn open_membership(&mut self, oid: Oid, class: &ClassId, now: Instant) -> Result<()> {
+        {
+            let c = self.schema.class_mut(class)?;
+            c.proper_ext
+                .entry(oid)
+                .or_default()
+                .set_from(now, ())?;
+            c.ext.entry(oid).or_default().set_from(now, ())?;
+        }
+        for sup in self.schema.superclasses_of(class) {
+            let c = self.schema.class_mut(&sup)?;
+            c.ext.entry(oid).or_default().set_from(now, ())?;
+        }
+        Ok(())
+    }
+
+    /// Update an attribute of an object at the current instant.
+    ///
+    /// * Temporal attributes record the change: the history gains a run
+    ///   starting at `now` (the previous run is closed at `now − 1`).
+    /// * Static attributes are overwritten; the previous value is lost
+    ///   (Section 1.1, non-temporal attributes).
+    /// * Immutable attributes reject any update after creation.
+    pub fn set_attr(&mut self, oid: Oid, attr: &AttrName, value: Value) -> Result<()> {
+        let now = self.clock;
+        let object = self
+            .objects
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        if !object.lifespan.is_alive() {
+            return Err(ModelError::ObjectDead(oid));
+        }
+        let class = object
+            .current_class(now)
+            .ok_or(ModelError::ObjectDead(oid))?
+            .clone();
+        let decl = self
+            .schema
+            .class(&class)?
+            .attr(attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                class: class.clone(),
+                attr: attr.clone(),
+            })?
+            .clone();
+        if decl.immutable {
+            return Err(ModelError::ImmutableAttribute {
+                oid,
+                attr: attr.clone(),
+            });
+        }
+        let expected = decl
+            .ty
+            .strip_temporal()
+            .cloned()
+            .unwrap_or_else(|| decl.ty.clone());
+        if !self.value_in_type(&value, &expected, now) {
+            return Err(ModelError::TypeMismatch {
+                expected,
+                value: value.to_string(),
+            });
+        }
+        let object = self.objects.get_mut(&oid).expect("present");
+        let slot = object.attrs.get_mut(attr).expect("initialized at creation");
+        if decl.ty.is_temporal() {
+            match slot {
+                Value::Temporal(h) => h.set_from(now, value)?,
+                _ => *slot = Value::Temporal(TemporalValue::starting_at(now, value)),
+            }
+        } else {
+            *slot = value;
+        }
+        Ok(())
+    }
+
+    /// Migrate an object to a different most specific class at the current
+    /// instant (Section 5.2). `to` may be a subclass (specialization, e.g.
+    /// employee → manager) or a superclass (generalization, e.g. manager →
+    /// employee) of the current class — or any class of the *same*
+    /// hierarchy (Invariant 6.2 forbids crossing hierarchies).
+    ///
+    /// Effects on attributes (Section 5.2):
+    ///
+    /// * attributes of the old class absent from the new one: *static*
+    ///   attributes are dropped without trace; *temporal* attributes have
+    ///   their history closed at `now − 1` and **kept** in the object;
+    /// * attributes of the new class absent from the old one are
+    ///   initialized from `init` (or `null`);
+    /// * attributes present in both keep their values; if the new class
+    ///   declares a previously-static attribute as temporal, the current
+    ///   value opens the history; if a previously-temporal attribute is
+    ///   static in the new class, the history is closed at `now − 1` and
+    ///   the current value is kept as the static value.
+    pub fn migrate(&mut self, oid: Oid, to: &ClassId, init: Attrs) -> Result<()> {
+        let now = self.clock;
+        let object = self
+            .objects
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        if !object.lifespan.is_alive() {
+            return Err(ModelError::ObjectDead(oid));
+        }
+        let from = object
+            .current_class(now)
+            .ok_or(ModelError::ObjectDead(oid))?
+            .clone();
+        let to_class = self.schema.class(to)?;
+        if !to_class.lifespan.is_alive() {
+            return Err(ModelError::ClassDead(to.clone()));
+        }
+        if from == *to {
+            return Ok(());
+        }
+        if !self.schema.same_hierarchy(&from, to) {
+            return Err(ModelError::CrossHierarchyMigration {
+                oid,
+                from,
+                to: to.clone(),
+            });
+        }
+
+        let old_attrs = self.schema.class(&from)?.all_attrs.clone();
+        let new_attrs = self.schema.class(to)?.all_attrs.clone();
+
+        for name in init.keys() {
+            if !new_attrs.contains_key(name) {
+                return Err(ModelError::UnexpectedAttribute {
+                    class: to.clone(),
+                    attr: name.clone(),
+                });
+            }
+        }
+
+        // Precompute the stored value for every attribute of the new class.
+        let mut init = init;
+        let mut staged: Vec<(AttrName, Value)> = Vec::new();
+        for (name, decl) in &new_attrs {
+            let old_decl = old_attrs.get(name);
+            let existing = self.objects[&oid].attrs.get(name).cloned();
+            let supplied = init.remove(name);
+            let stored = match (old_decl, existing) {
+                // Newly acquired attribute. If the object still carries a
+                // closed history under this name from an earlier stint in
+                // a class declaring it (Section 5.2 keeps such histories),
+                // the history *resumes* rather than being replaced.
+                (None, existing) => {
+                    let v = supplied.unwrap_or(Value::Null);
+                    match (existing, decl.ty.strip_temporal(), &v) {
+                        (Some(Value::Temporal(mut h)), Some(inner), v)
+                            if !matches!(v, Value::Temporal(_)) =>
+                        {
+                            if !self.value_in_type(v, inner, now) {
+                                return Err(ModelError::TypeMismatch {
+                                    expected: inner.clone(),
+                                    value: v.to_string(),
+                                });
+                            }
+                            h.set_from(now, v.clone())?;
+                            Value::Temporal(h)
+                        }
+                        _ => self.init_attr_value(to, name, decl, v, now)?,
+                    }
+                }
+                // Kept attribute.
+                (Some(old), Some(current)) => {
+                    match (old.ty.is_temporal(), decl.ty.is_temporal()) {
+                        (true, true) | (false, false) => {
+                            if let Some(v) = supplied {
+                                // Optional simultaneous update.
+                                let inner = decl
+                                    .ty
+                                    .strip_temporal()
+                                    .cloned()
+                                    .unwrap_or_else(|| decl.ty.clone());
+                                if !self.value_in_type(&v, &inner, now) {
+                                    return Err(ModelError::TypeMismatch {
+                                        expected: inner,
+                                        value: v.to_string(),
+                                    });
+                                }
+                                if decl.ty.is_temporal() {
+                                    let mut h = current
+                                        .as_temporal()
+                                        .cloned()
+                                        .unwrap_or_default();
+                                    h.set_from(now, v)?;
+                                    Value::Temporal(h)
+                                } else {
+                                    v
+                                }
+                            } else {
+                                current
+                            }
+                        }
+                        // static → temporal: the current value opens the
+                        // history (Rule 6.1 refinement direction).
+                        (false, true) => {
+                            let v = supplied.unwrap_or(current);
+                            self.init_attr_value(to, name, decl, v, now)?
+                        }
+                        // temporal → static (generalization): keep the
+                        // current value as the static value.
+                        (true, false) => {
+                            let v = supplied
+                                .or_else(|| {
+                                    current
+                                        .as_temporal()
+                                        .and_then(|h| h.value_now(now).cloned())
+                                })
+                                .unwrap_or(Value::Null);
+                            if !self.value_in_type(&v, &decl.ty, now) {
+                                return Err(ModelError::TypeMismatch {
+                                    expected: decl.ty.clone(),
+                                    value: v.to_string(),
+                                });
+                            }
+                            v
+                        }
+                    }
+                }
+                (Some(_), None) => {
+                    let v = supplied.unwrap_or(Value::Null);
+                    self.init_attr_value(to, name, decl, v, now)?
+                }
+            };
+            staged.push((name.clone(), stored));
+        }
+
+        // Apply to the object.
+        let object = self.objects.get_mut(&oid).expect("present");
+        // Old-only attributes: drop statics, close temporals (kept).
+        let mut kept_histories: Vec<(AttrName, Value)> = Vec::new();
+        for (name, decl) in &old_attrs {
+            if new_attrs.contains_key(name) {
+                continue;
+            }
+            if let Some(v) = object.attrs.remove(name) {
+                if decl.ty.is_temporal() {
+                    if let Value::Temporal(mut h) = v {
+                        h.close_before(now);
+                        if !h.is_empty() {
+                            kept_histories.push((name.clone(), Value::Temporal(h)));
+                        }
+                    }
+                }
+            }
+        }
+        for (name, v) in staged {
+            object.attrs.insert(name, v);
+        }
+        // Closed histories of dropped temporal attributes stay in the
+        // object (Section 5.2) — reinsert after the new attributes so a
+        // same-named new declaration wins.
+        for (name, v) in kept_histories {
+            object.attrs.entry(name).or_insert(v);
+        }
+        object.class_history.set_from(now, to.clone())?;
+
+        // Maintain extents.
+        let old_supers: Vec<ClassId> = std::iter::once(from.clone())
+            .chain(self.schema.superclasses_of(&from))
+            .collect();
+        let new_supers: Vec<ClassId> = std::iter::once(to.clone())
+            .chain(self.schema.superclasses_of(to))
+            .collect();
+        // proper-ext: leaves `from`, enters `to`.
+        if let Some(h) = self.schema.class_mut(&from)?.proper_ext.get_mut(&oid) {
+            h.close_before(now);
+        }
+        self.schema
+            .class_mut(to)?
+            .proper_ext
+            .entry(oid)
+            .or_default()
+            .set_from(now, ())?;
+        // ext: close classes left, open classes entered.
+        for c in &old_supers {
+            if !new_supers.contains(c) {
+                if let Some(h) = self.schema.class_mut(c)?.ext.get_mut(&oid) {
+                    h.close_before(now);
+                }
+            }
+        }
+        for c in &new_supers {
+            let class = self.schema.class_mut(c)?;
+            let h = class.ext.entry(oid).or_default();
+            if !h.has_open_run() {
+                h.set_from(now, ())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminate an object at the current instant: its lifespan becomes
+    /// `[start, now]`, all open attribute histories and memberships are
+    /// closed. The oid and the full recorded history remain queryable.
+    pub fn terminate_object(&mut self, oid: Oid) -> Result<()> {
+        let now = self.clock;
+        let object = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        if !object.lifespan.is_alive() {
+            return Err(ModelError::ObjectDead(oid));
+        }
+        object.lifespan = object
+            .lifespan
+            .terminated_at(now)
+            .ok_or(ModelError::NotInLifespan { at: now })?;
+        for v in object.attrs.values_mut() {
+            if let Value::Temporal(h) = v {
+                h.close(now);
+            }
+        }
+        object.class_history.close(now);
+        for class in self.schema().classes().map(|c| c.id.clone()).collect::<Vec<_>>() {
+            let c = self.schema.class_mut(&class)?;
+            if let Some(h) = c.ext.get_mut(&oid) {
+                h.close(now);
+            }
+            if let Some(h) = c.proper_ext.get_mut(&oid) {
+                h.close(now);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup and the Table 3 model functions
+    // ------------------------------------------------------------------
+
+    /// Object lookup.
+    pub fn object(&self, oid: Oid) -> Result<&Object> {
+        self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))
+    }
+
+    /// Iterate all objects (alive and terminated).
+    pub fn objects(&self) -> impl Iterator<Item = &Object> {
+        self.objects.values()
+    }
+
+    /// Number of objects ever created.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `π(c, t)` — the extent of class `c` at instant `t`: the identifiers
+    /// of objects that at time `t` belonged to `c` as instances or members
+    /// (Section 3.2).
+    pub fn pi(&self, class: &ClassId, t: Instant) -> Result<Vec<Oid>> {
+        Ok(self.schema.class(class)?.ext_at(t, self.clock))
+    }
+
+    /// The proper extent of `c` at `t` (instances only).
+    pub fn proper_pi(&self, class: &ClassId, t: Instant) -> Result<Vec<Oid>> {
+        Ok(self.schema.class(class)?.proper_ext_at(t, self.clock))
+    }
+
+    /// `type(c)` — the structural type of a class (Section 4).
+    pub fn type_of(&self, class: &ClassId) -> Result<Type> {
+        Ok(self.schema.class(class)?.structural_type())
+    }
+
+    /// `h_type(c)` — the historical type; `None` for classes whose
+    /// instances have no temporal attributes.
+    pub fn h_type(&self, class: &ClassId) -> Result<Option<Type>> {
+        Ok(self.schema.class(class)?.historical_type())
+    }
+
+    /// `s_type(c)` — the static type; `None` for classes whose instances
+    /// only have temporal attributes.
+    pub fn s_type(&self, class: &ClassId) -> Result<Option<Type>> {
+        Ok(self.schema.class(class)?.static_type())
+    }
+
+    /// `h_state(i, t)` — the historical value of an object (Section 5.2).
+    pub fn h_state(&self, oid: Oid, t: Instant) -> Result<Value> {
+        Ok(self.object(oid)?.h_state(t, self.clock))
+    }
+
+    /// `s_state(i)` — the static value of an object (Section 5.2).
+    pub fn s_state(&self, oid: Oid) -> Result<Value> {
+        Ok(self.object(oid)?.s_state())
+    }
+
+    /// `o_lifespan(i)` — the lifespan of an object.
+    pub fn o_lifespan(&self, oid: Oid) -> Result<Lifespan> {
+        Ok(self.object(oid)?.lifespan)
+    }
+
+    /// `c_lifespan(i, c)` (Table 3's `m_lifespan`) — the instants at which
+    /// `i` was a member of `c`; may be non-contiguous (an employee can be
+    /// fired and rehired, Section 5.1).
+    pub fn c_lifespan(&self, oid: Oid, class: &ClassId) -> Result<IntervalSet> {
+        Ok(self.schema.class(class)?.membership_of(oid, self.clock))
+    }
+
+    /// `ref(i, t)` — the oids the object refers to at instant `t`
+    /// (Section 5.2, Definition 5.6).
+    pub fn refs(&self, oid: Oid, t: Instant) -> Result<Vec<Oid>> {
+        Ok(self.object(oid)?.refs_at(t, self.clock))
+    }
+
+    /// `snapshot(i, t)` — the projected state of the object at `t`
+    /// (Section 5.3); undefined for `t ≠ now` when the object has static
+    /// attributes.
+    pub fn snapshot(&self, oid: Oid, t: Instant) -> Result<Value> {
+        self.object(oid)?.snapshot(t, self.clock)
+    }
+
+    /// Replace an object wholesale, bypassing all validation.
+    ///
+    /// This is a **fault-injection hook** for tests and benchmarks of the
+    /// consistency and invariant checkers (Definitions 5.5/5.6 need
+    /// *inconsistent* states to detect, and the public mutation API keeps
+    /// the database consistent by construction). Never use it in
+    /// application code.
+    #[doc(hidden)]
+    pub fn replace_object_for_test(&mut self, object: Object) {
+        self.objects.insert(object.oid, object);
+    }
+
+    /// The current value of an attribute (temporal attributes resolve to
+    /// their value at `now`).
+    pub fn attr_now(&self, oid: Oid, attr: &AttrName) -> Result<Value> {
+        let o = self.object(oid)?;
+        let v = o
+            .attr(attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                class: o
+                    .current_class(self.clock)
+                    .cloned()
+                    .unwrap_or_else(|| ClassId::from("?")),
+                attr: attr.clone(),
+            })?;
+        Ok(match v {
+            Value::Temporal(h) => h.value_now(self.clock).cloned().unwrap_or(Value::Null),
+            other => other.clone(),
+        })
+    }
+
+    /// The value of an attribute at instant `t`. For a static attribute
+    /// this is the *current* value whatever `t` is (the past is not
+    /// recorded); for a temporal attribute it is `f(t)` (or `null` outside
+    /// the domain).
+    pub fn attr_at(&self, oid: Oid, attr: &AttrName, t: Instant) -> Result<Value> {
+        let o = self.object(oid)?;
+        let v = o
+            .attr(attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                class: o
+                    .current_class(self.clock)
+                    .cloned()
+                    .unwrap_or_else(|| ClassId::from("?")),
+                attr: attr.clone(),
+            })?;
+        Ok(match v {
+            Value::Temporal(h) => h.value_at(t, self.clock).cloned().unwrap_or(Value::Null),
+            other => other.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+
+    /// Schema used by most tests: person ⊇ employee ⊇ manager.
+    pub(crate) fn staff_db() -> Database {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::new("person")
+                .immutable_attr("name", Type::temporal(Type::STRING))
+                .attr("address", Type::STRING),
+        )
+        .unwrap();
+        db.define_class(
+            ClassDef::new("employee")
+                .isa("person")
+                .attr("salary", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        db.define_class(
+            ClassDef::new("manager")
+                .isa("employee")
+                .attr("officialcar", Type::STRING)
+                .attr("dependents", Type::temporal(Type::set_of(Type::object("person")))),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_object_populates_extents() {
+        let mut db = staff_db();
+        db.tick_by(10);
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([
+                    ("name", Value::str("Bob")),
+                    ("address", Value::str("Milano")),
+                    ("salary", Value::Int(100)),
+                ]),
+            )
+            .unwrap();
+        let t = Instant(10);
+        assert_eq!(db.pi(&ClassId::from("employee"), t).unwrap(), vec![i]);
+        assert_eq!(db.pi(&ClassId::from("person"), t).unwrap(), vec![i]);
+        assert!(db.pi(&ClassId::from("manager"), t).unwrap().is_empty());
+        assert_eq!(db.proper_pi(&ClassId::from("employee"), t).unwrap(), vec![i]);
+        assert!(db.proper_pi(&ClassId::from("person"), t).unwrap().is_empty());
+        // Before creation the extent is empty.
+        assert!(db.pi(&ClassId::from("employee"), Instant(9)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn temporal_attr_updates_record_history() {
+        let mut db = staff_db();
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("salary", Value::Int(100))]),
+            )
+            .unwrap();
+        db.tick_by(5);
+        db.set_attr(i, &AttrName::from("salary"), Value::Int(120)).unwrap();
+        db.tick_by(5);
+        db.set_attr(i, &AttrName::from("salary"), Value::Int(150)).unwrap();
+        let a = AttrName::from("salary");
+        assert_eq!(db.attr_at(i, &a, Instant(0)).unwrap(), Value::Int(100));
+        assert_eq!(db.attr_at(i, &a, Instant(4)).unwrap(), Value::Int(100));
+        assert_eq!(db.attr_at(i, &a, Instant(5)).unwrap(), Value::Int(120));
+        assert_eq!(db.attr_at(i, &a, Instant(10)).unwrap(), Value::Int(150));
+        assert_eq!(db.attr_now(i, &a).unwrap(), Value::Int(150));
+    }
+
+    #[test]
+    fn static_attr_updates_lose_history() {
+        let mut db = staff_db();
+        let i = db
+            .create_object(
+                &ClassId::from("person"),
+                attrs([("address", Value::str("Milano"))]),
+            )
+            .unwrap();
+        db.tick_by(5);
+        db.set_attr(i, &AttrName::from("address"), Value::str("Genova"))
+            .unwrap();
+        // The past value is unrecoverable: attr_at returns the current one.
+        assert_eq!(
+            db.attr_at(i, &AttrName::from("address"), Instant(0)).unwrap(),
+            Value::str("Genova")
+        );
+    }
+
+    #[test]
+    fn immutable_attr_rejects_update() {
+        let mut db = staff_db();
+        let i = db
+            .create_object(
+                &ClassId::from("person"),
+                attrs([("name", Value::str("Bob"))]),
+            )
+            .unwrap();
+        db.tick();
+        assert!(matches!(
+            db.set_attr(i, &AttrName::from("name"), Value::str("Robert")),
+            Err(ModelError::ImmutableAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn type_checking_on_write() {
+        let mut db = staff_db();
+        let err = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("salary", Value::str("lots"))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+        let i = db
+            .create_object(&ClassId::from("employee"), attrs::<&str, _>([]))
+            .unwrap();
+        db.tick();
+        assert!(matches!(
+            db.set_attr(i, &AttrName::from("salary"), Value::Bool(true)),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.set_attr(i, &AttrName::from("ghost"), Value::Int(1)),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            db.create_object(
+                &ClassId::from("employee"),
+                attrs([("ghost", Value::Int(1))])
+            ),
+            Err(ModelError::UnexpectedAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn null_is_legal_everywhere() {
+        let mut db = staff_db();
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("salary", Value::Null)]),
+            )
+            .unwrap();
+        assert_eq!(
+            db.attr_now(i, &AttrName::from("salary")).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn promotion_to_manager_adds_attributes() {
+        // The paper's Section 5.2 story: employee promoted to manager.
+        let mut db = staff_db();
+        db.tick_by(10);
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("name", Value::str("Ann")), ("salary", Value::Int(100))]),
+            )
+            .unwrap();
+        db.tick_by(10); // now = 20
+        db.migrate(
+            i,
+            &ClassId::from("manager"),
+            attrs([
+                ("officialcar", Value::str("Alfa 164")),
+                ("dependents", Value::set([])),
+            ]),
+        )
+        .unwrap();
+        let now = db.now();
+        let o = db.object(i).unwrap();
+        assert_eq!(o.current_class(now), Some(&ClassId::from("manager")));
+        assert_eq!(
+            o.class_at(Instant(15), now),
+            Some(&ClassId::from("employee"))
+        );
+        assert_eq!(
+            db.attr_now(i, &AttrName::from("officialcar")).unwrap(),
+            Value::str("Alfa 164")
+        );
+        // Extents: manager gains i at 20; employee/person keep it.
+        assert_eq!(db.pi(&ClassId::from("manager"), Instant(20)).unwrap(), vec![i]);
+        assert!(db.pi(&ClassId::from("manager"), Instant(19)).unwrap().is_empty());
+        assert_eq!(db.pi(&ClassId::from("employee"), Instant(20)).unwrap(), vec![i]);
+        assert_eq!(db.pi(&ClassId::from("person"), Instant(20)).unwrap(), vec![i]);
+        // proper-ext moved from employee to manager.
+        assert!(db
+            .proper_pi(&ClassId::from("employee"), Instant(20))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.proper_pi(&ClassId::from("employee"), Instant(19)).unwrap(),
+            vec![i]
+        );
+    }
+
+    #[test]
+    fn demotion_drops_static_keeps_temporal_history() {
+        // Section 5.2: "the transfer of the manager back to normal
+        // employee status (that means the loss of the official car and of
+        // the dependents)".
+        let mut db = staff_db();
+        db.tick_by(10);
+        let i = db
+            .create_object(
+                &ClassId::from("manager"),
+                attrs([
+                    ("salary", Value::Int(200)),
+                    ("officialcar", Value::str("Alfa 164")),
+                    ("dependents", Value::set([])),
+                ]),
+            )
+            .unwrap();
+        db.tick_by(10); // now = 20
+        db.migrate(i, &ClassId::from("employee"), Attrs::new()).unwrap();
+        let o = db.object(i).unwrap();
+        // Static attribute dropped without trace.
+        assert!(o.attr(&AttrName::from("officialcar")).is_none());
+        // Temporal attribute kept, history closed at 19.
+        let dep = o
+            .attr(&AttrName::from("dependents"))
+            .expect("temporal history kept")
+            .as_temporal()
+            .unwrap();
+        assert!(!dep.has_open_run());
+        assert!(dep.is_defined_at(Instant(15), db.now()));
+        assert!(!dep.is_defined_at(Instant(20), db.now()));
+        // Salary continues unbroken.
+        assert_eq!(
+            db.attr_now(i, &AttrName::from("salary")).unwrap(),
+            Value::Int(200)
+        );
+        // Manager membership closed at 19.
+        assert_eq!(
+            db.c_lifespan(i, &ClassId::from("manager")).unwrap(),
+            IntervalSet::from_interval(tchimera_temporal::Interval::from_ticks(10, 19))
+        );
+    }
+
+    #[test]
+    fn rehire_creates_non_contiguous_membership() {
+        let mut db = staff_db();
+        db.tick_by(10);
+        let i = db
+            .create_object(&ClassId::from("employee"), attrs::<&str, _>([]))
+            .unwrap();
+        db.tick_by(10); // 20: fired
+        db.migrate(i, &ClassId::from("person"), Attrs::new()).unwrap();
+        db.tick_by(10); // 30: rehired
+        db.migrate(i, &ClassId::from("employee"), Attrs::new()).unwrap();
+        db.tick_by(10); // 40
+        let m = db.c_lifespan(i, &ClassId::from("employee")).unwrap();
+        assert_eq!(m.interval_count(), 2);
+        assert!(m.contains(Instant(15)));
+        assert!(!m.contains(Instant(25)));
+        assert!(m.contains(Instant(35)));
+        // person membership is contiguous throughout.
+        let p = db.c_lifespan(i, &ClassId::from("person")).unwrap();
+        assert!(p.is_contiguous());
+        assert!(p.contains(Instant(25)));
+    }
+
+    #[test]
+    fn cross_hierarchy_migration_rejected() {
+        let mut db = staff_db();
+        db.define_class(ClassDef::new("vehicle")).unwrap();
+        let i = db
+            .create_object(&ClassId::from("person"), attrs::<&str, _>([]))
+            .unwrap();
+        db.tick();
+        assert!(matches!(
+            db.migrate(i, &ClassId::from("vehicle"), Attrs::new()),
+            Err(ModelError::CrossHierarchyMigration { .. })
+        ));
+    }
+
+    #[test]
+    fn terminate_object_closes_everything() {
+        let mut db = staff_db();
+        db.tick_by(10);
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("salary", Value::Int(100))]),
+            )
+            .unwrap();
+        db.tick_by(10); // 20
+        db.terminate_object(i).unwrap();
+        let o = db.object(i).unwrap();
+        assert!(!o.lifespan.is_alive());
+        db.tick_by(10); // 30
+        // Not in any extent after death.
+        assert!(db.pi(&ClassId::from("employee"), Instant(25)).unwrap().is_empty());
+        assert_eq!(db.pi(&ClassId::from("employee"), Instant(20)).unwrap(), vec![i]);
+        // Further operations rejected.
+        assert!(matches!(
+            db.set_attr(i, &AttrName::from("salary"), Value::Int(1)),
+            Err(ModelError::ObjectDead(_))
+        ));
+        assert!(matches!(
+            db.migrate(i, &ClassId::from("manager"), Attrs::new()),
+            Err(ModelError::ObjectDead(_))
+        ));
+        assert!(matches!(
+            db.terminate_object(i),
+            Err(ModelError::ObjectDead(_))
+        ));
+        // History remains queryable.
+        assert_eq!(
+            db.attr_at(i, &AttrName::from("salary"), Instant(15)).unwrap(),
+            Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut db = Database::new();
+        db.advance_to(Instant(10)).unwrap();
+        assert!(matches!(
+            db.advance_to(Instant(5)),
+            Err(ModelError::ClockMovedBackwards { .. })
+        ));
+        assert_eq!(db.tick(), Instant(11));
+    }
+
+    #[test]
+    fn object_type_references_check_extents() {
+        let mut db = staff_db();
+        db.define_class(
+            ClassDef::new("team").attr("lead", Type::object("employee")),
+        )
+        .unwrap();
+        let p = db
+            .create_object(&ClassId::from("person"), attrs::<&str, _>([]))
+            .unwrap();
+        let e = db
+            .create_object(&ClassId::from("employee"), attrs::<&str, _>([]))
+            .unwrap();
+        // A person oid is not a legal value for employee.
+        assert!(matches!(
+            db.create_object(&ClassId::from("team"), attrs([("lead", Value::Oid(p))])),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+        let t = db
+            .create_object(&ClassId::from("team"), attrs([("lead", Value::Oid(e))]))
+            .unwrap();
+        assert_eq!(db.attr_now(t, &AttrName::from("lead")).unwrap(), Value::Oid(e));
+        // A manager oid IS legal for employee (member, Section 3.2).
+        db.tick();
+        db.migrate(e, &ClassId::from("manager"), Attrs::new()).unwrap();
+        db.set_attr(t, &AttrName::from("lead"), Value::Oid(e)).unwrap();
+    }
+
+    #[test]
+    fn c_attr_round_trip() {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::new("project")
+                .c_attr("average-participants", Type::INTEGER)
+                .c_attr("headcount", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        let c = ClassId::from("project");
+        db.set_c_attr(&c, &AttrName::from("average-participants"), Value::Int(20))
+            .unwrap();
+        assert_eq!(
+            db.c_attr(&c, &AttrName::from("average-participants")).unwrap(),
+            &Value::Int(20)
+        );
+        db.set_c_attr(&c, &AttrName::from("headcount"), Value::Int(5)).unwrap();
+        db.tick_by(10);
+        db.set_c_attr(&c, &AttrName::from("headcount"), Value::Int(8)).unwrap();
+        let h = db
+            .c_attr(&c, &AttrName::from("headcount"))
+            .unwrap()
+            .as_temporal()
+            .unwrap();
+        assert_eq!(h.value_at(Instant(0), db.now()), Some(&Value::Int(5)));
+        assert_eq!(h.value_at(Instant(10), db.now()), Some(&Value::Int(8)));
+        assert!(matches!(
+            db.set_c_attr(&c, &AttrName::from("ghost"), Value::Int(1)),
+            Err(ModelError::UnknownClassAttribute { .. })
+        ));
+        assert!(matches!(
+            db.set_c_attr(&c, &AttrName::from("headcount"), Value::str("x")),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_load_with_explicit_history() {
+        let mut db = staff_db();
+        db.advance_to(Instant(100)).unwrap();
+        let h = TemporalValue::from_pairs([
+            (tchimera_temporal::Interval::from_ticks(10, 50), Value::Int(90)),
+            (tchimera_temporal::Interval::from_ticks(51, 100), Value::Int(110)),
+        ])
+        .unwrap();
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("salary", Value::Temporal(h))]),
+            )
+            .unwrap();
+        assert_eq!(
+            db.attr_at(i, &AttrName::from("salary"), Instant(20)).unwrap(),
+            Value::Int(90)
+        );
+        assert_eq!(
+            db.attr_at(i, &AttrName::from("salary"), Instant(60)).unwrap(),
+            Value::Int(110)
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Substitutability and coercion (Section 6.1).
+
+use crate::database::Database;
+use crate::error::{ModelError, Result};
+use crate::ident::{ClassId, Oid};
+use crate::value::Value;
+
+impl Database {
+    /// View an object as an instance of `as_class` — **substitutability**
+    /// (Section 6.1): each instance of a class can be used whenever an
+    /// instance of one of its superclasses is expected.
+    ///
+    /// The object must currently be a member of `as_class`. The result is
+    /// a record matching `type(as_class)` (the structural type of the
+    /// viewing class): attributes the viewing class does not declare are
+    /// projected away, and when the viewing class declares an attribute
+    /// with a *non-temporal* domain that the object stores as a history
+    /// (because its own class refined the domain to a temporal one under
+    /// Rule 6.1), the history is **coerced** to its current value via the
+    /// `snapshot` function: "we forget the history of attribute `a` and
+    /// consider only its current value".
+    pub fn view_as(&self, oid: Oid, as_class: &ClassId) -> Result<Value> {
+        let now = self.now();
+        let o = self.object(oid)?;
+        let class = self.schema().class(as_class)?;
+        if !class.membership_of(oid, now).contains(now) {
+            return Err(ModelError::TypeMismatch {
+                expected: crate::types::Type::Object(as_class.clone()),
+                value: oid.to_string(),
+            });
+        }
+        let mut fields = Vec::with_capacity(class.all_attrs.len());
+        for (name, decl) in &class.all_attrs {
+            let stored = o.attr(name).cloned().unwrap_or(Value::Null);
+            let v = match (&stored, decl.ty.is_temporal()) {
+                // Coercion: temporal storage viewed through a static
+                // domain yields snapshot(i, now).a.
+                (Value::Temporal(h), false) => {
+                    h.value_now(now).cloned().unwrap_or(Value::Null)
+                }
+                // A static stored value viewed through a temporal domain
+                // cannot arise: Rule 6.1 only refines static → temporal,
+                // and the object stores per its *most specific* class.
+                _ => stored,
+            };
+            fields.push((name.clone(), v));
+        }
+        Ok(Value::Record(fields))
+    }
+
+    /// `true` if instances of `sub` may stand wherever instances of `sup`
+    /// are expected (the ISA-based substitutability test).
+    pub fn substitutable(&self, sub: &ClassId, sup: &ClassId) -> bool {
+        self.schema().is_subclass(sub, sup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use crate::database::attrs;
+    use crate::types::Type;
+    use tchimera_temporal::Instant;
+
+    /// The Section 6.1 scenario: a subclass refines a static attribute
+    /// into a temporal one.
+    fn db() -> (Database, Oid) {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::new("person")
+                .attr("address", Type::STRING)
+                .attr("name", Type::STRING),
+        )
+        .unwrap();
+        db.define_class(
+            ClassDef::new("tracked-person")
+                .isa("person")
+                // Rule 6.1 case 2: static → temporal refinement.
+                .attr("address", Type::temporal(Type::STRING))
+                .attr("tracker-id", Type::INTEGER),
+        )
+        .unwrap();
+        db.advance_to(Instant(10)).unwrap();
+        let i = db
+            .create_object(
+                &ClassId::from("tracked-person"),
+                attrs([
+                    ("name", Value::str("Bob")),
+                    ("address", Value::str("Milano")),
+                    ("tracker-id", Value::Int(7)),
+                ]),
+            )
+            .unwrap();
+        (db, i)
+    }
+
+    #[test]
+    fn coercion_forgets_history() {
+        let (mut db, i) = db();
+        db.advance_to(Instant(20)).unwrap();
+        db.set_attr(i, &"address".into(), Value::str("Genova")).unwrap();
+        db.advance_to(Instant(30)).unwrap();
+
+        // Viewed as its own class: address is the full history.
+        let as_tracked = db.view_as(i, &ClassId::from("tracked-person")).unwrap();
+        let h = as_tracked
+            .field(&"address".into())
+            .unwrap()
+            .as_temporal()
+            .expect("history");
+        assert_eq!(h.value_at(Instant(15), db.now()), Some(&Value::str("Milano")));
+
+        // Viewed as person: the history is coerced to its current value.
+        let as_person = db.view_as(i, &ClassId::from("person")).unwrap();
+        assert_eq!(
+            as_person,
+            Value::record([
+                ("address", Value::str("Genova")),
+                ("name", Value::str("Bob")),
+            ])
+        );
+        // The coerced view conforms to the superclass structural type.
+        let t = db.type_of(&ClassId::from("person")).unwrap();
+        assert!(db.value_in_type(&as_person, &t, db.now()));
+    }
+
+    #[test]
+    fn view_projects_extra_attributes_away() {
+        let (db, i) = db();
+        let as_person = db.view_as(i, &ClassId::from("person")).unwrap();
+        assert!(as_person.field(&"tracker-id".into()).is_none());
+    }
+
+    #[test]
+    fn view_requires_membership() {
+        let (mut db, i) = db();
+        db.define_class(ClassDef::new("unrelated")).unwrap();
+        assert!(db.view_as(i, &ClassId::from("unrelated")).is_err());
+        // A plain person is not viewable as tracked-person.
+        let p = db
+            .create_object(&ClassId::from("person"), attrs([("name", Value::str("Z"))]))
+            .unwrap();
+        assert!(db.view_as(p, &ClassId::from("tracked-person")).is_err());
+        assert!(db.view_as(p, &ClassId::from("person")).is_ok());
+    }
+
+    #[test]
+    fn substitutability_follows_isa() {
+        let (db, _) = db();
+        assert!(db.substitutable(&ClassId::from("tracked-person"), &ClassId::from("person")));
+        assert!(!db.substitutable(&ClassId::from("person"), &ClassId::from("tracked-person")));
+    }
+}

@@ -1,0 +1,228 @@
+//! Subtyping (Definition 6.1) and least upper bounds on the type poset.
+
+use crate::ident::ClassId;
+use crate::schema::Schema;
+use crate::types::Type;
+
+impl Schema {
+    /// The subtype relationship `T2 ≤_T T1` of Definition 6.1:
+    ///
+    /// * `T1 = T2`;
+    /// * object types ordered by ISA: `c2 ≤_ISA c1`;
+    /// * `set-of` / `list-of` covariant in the element type;
+    /// * records: covariant in the field types; a subtype record may also
+    ///   declare *additional* fields (width subtyping). The paper states
+    ///   the rule for records over the same field names; the width
+    ///   extension is required for class structural types, where a
+    ///   subclass adds attributes to its superclass's record (Section 6.1:
+    ///   "each subclass must contain all attributes and operations … of all
+    ///   its superclasses").
+    /// * `temporal(T)` covariant in `T`.
+    pub fn is_subtype(&self, sub: &Type, sup: &Type) -> bool {
+        if sub == sup {
+            return true;
+        }
+        match (sub, sup) {
+            (Type::Object(c2), Type::Object(c1)) => self.is_subclass(c2, c1),
+            (Type::Set(a), Type::Set(b)) | (Type::List(a), Type::List(b)) => {
+                self.is_subtype(a, b)
+            }
+            (Type::Record(sub_fs), Type::Record(sup_fs)) => sup_fs.iter().all(|(n, sup_t)| {
+                sub_fs
+                    .binary_search_by(|(m, _)| m.cmp(n))
+                    .ok()
+                    .is_some_and(|i| self.is_subtype(&sub_fs[i].1, sup_t))
+            }),
+            (Type::Temporal(a), Type::Temporal(b)) => self.is_subtype(a, b),
+            _ => false,
+        }
+    }
+
+    /// The least upper bound `T1 ⊔ T2` of two types in the `≤_T` poset
+    /// (used by the typing rules for sets and lists, Definition 3.6).
+    /// `None` when no lub exists (e.g. object types in disjoint
+    /// hierarchies, or types of different shape).
+    pub fn lub(&self, a: &Type, b: &Type) -> Option<Type> {
+        if a == b {
+            return Some(a.clone());
+        }
+        match (a, b) {
+            (Type::Object(c1), Type::Object(c2)) => {
+                self.lub_class(c1, c2).map(Type::Object)
+            }
+            (Type::Set(x), Type::Set(y)) => self.lub(x, y).map(Type::set_of),
+            (Type::List(x), Type::List(y)) => self.lub(x, y).map(Type::list_of),
+            (Type::Temporal(x), Type::Temporal(y)) => {
+                let inner = self.lub(x, y)?;
+                inner.is_chimera().then(|| Type::temporal(inner))
+            }
+            (Type::Record(fa), Type::Record(fb)) => {
+                // Lub of records: the common fields, with field lubs
+                // (consistent with width subtyping).
+                let mut fields = Vec::new();
+                for (n, ta) in fa {
+                    if let Ok(i) = fb.binary_search_by(|(m, _)| m.cmp(n)) {
+                        fields.push((n.clone(), self.lub(ta, &fb[i].1)?));
+                    }
+                }
+                Some(Type::Record(fields))
+            }
+            _ => None,
+        }
+    }
+
+    /// The lub of a set of class identifiers (helper for object typing).
+    pub fn lub_classes<'a, I>(&self, mut classes: I) -> Option<ClassId>
+    where
+        I: Iterator<Item = &'a ClassId>,
+    {
+        let first = classes.next()?;
+        let mut acc = first.clone();
+        for c in classes {
+            acc = self.lub_class(&acc, c)?;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use tchimera_temporal::Instant;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        let t0 = Instant(0);
+        s.define(ClassDef::new("person"), t0).unwrap();
+        s.define(ClassDef::new("employee").isa("person"), t0).unwrap();
+        s.define(ClassDef::new("manager").isa("employee"), t0).unwrap();
+        s.define(ClassDef::new("student").isa("person"), t0).unwrap();
+        s.define(ClassDef::new("vehicle"), t0).unwrap();
+        s
+    }
+
+    fn obj(n: &str) -> Type {
+        Type::object(n)
+    }
+
+    #[test]
+    fn reflexivity() {
+        let s = schema();
+        for t in [
+            Type::INTEGER,
+            Type::Time,
+            obj("person"),
+            Type::set_of(Type::REAL),
+            Type::temporal(Type::STRING),
+        ] {
+            assert!(s.is_subtype(&t, &t));
+        }
+    }
+
+    #[test]
+    fn object_subtyping_follows_isa() {
+        let s = schema();
+        assert!(s.is_subtype(&obj("manager"), &obj("person")));
+        assert!(s.is_subtype(&obj("manager"), &obj("employee")));
+        assert!(!s.is_subtype(&obj("person"), &obj("manager")));
+        assert!(!s.is_subtype(&obj("student"), &obj("employee")));
+        assert!(!s.is_subtype(&obj("vehicle"), &obj("person")));
+    }
+
+    #[test]
+    fn constructors_are_covariant() {
+        let s = schema();
+        assert!(s.is_subtype(&Type::set_of(obj("manager")), &Type::set_of(obj("person"))));
+        assert!(s.is_subtype(&Type::list_of(obj("manager")), &Type::list_of(obj("person"))));
+        assert!(s.is_subtype(
+            &Type::temporal(obj("manager")),
+            &Type::temporal(obj("person"))
+        ));
+        assert!(!s.is_subtype(&Type::set_of(obj("person")), &Type::set_of(obj("manager"))));
+        // No cross-constructor subtyping.
+        assert!(!s.is_subtype(&Type::set_of(obj("manager")), &Type::list_of(obj("person"))));
+        // temporal(T) is not a subtype of T (coercion is explicit,
+        // Section 6.1).
+        assert!(!s.is_subtype(&Type::temporal(Type::INTEGER), &Type::INTEGER));
+    }
+
+    #[test]
+    fn record_depth_and_width_subtyping() {
+        let s = schema();
+        let sup = Type::record_of([("boss", obj("person"))]);
+        let depth = Type::record_of([("boss", obj("manager"))]);
+        let width = Type::record_of([("boss", obj("person")), ("extra", Type::INTEGER)]);
+        assert!(s.is_subtype(&depth, &sup));
+        assert!(s.is_subtype(&width, &sup));
+        assert!(!s.is_subtype(&sup, &depth));
+        assert!(!s.is_subtype(&sup, &width));
+        // Missing field.
+        let missing = Type::record_of([("extra", Type::INTEGER)]);
+        assert!(!s.is_subtype(&missing, &sup));
+    }
+
+    #[test]
+    fn transitivity_spot_checks() {
+        let s = schema();
+        let t1 = Type::set_of(obj("manager"));
+        let t2 = Type::set_of(obj("employee"));
+        let t3 = Type::set_of(obj("person"));
+        assert!(s.is_subtype(&t1, &t2));
+        assert!(s.is_subtype(&t2, &t3));
+        assert!(s.is_subtype(&t1, &t3));
+    }
+
+    #[test]
+    fn lub_basic() {
+        let s = schema();
+        assert_eq!(s.lub(&Type::INTEGER, &Type::INTEGER), Some(Type::INTEGER));
+        assert_eq!(s.lub(&Type::INTEGER, &Type::REAL), None);
+        assert_eq!(
+            s.lub(&obj("manager"), &obj("student")),
+            Some(obj("person"))
+        );
+        assert_eq!(s.lub(&obj("manager"), &obj("vehicle")), None);
+        assert_eq!(
+            s.lub(&Type::set_of(obj("manager")), &Type::set_of(obj("student"))),
+            Some(Type::set_of(obj("person")))
+        );
+        assert_eq!(
+            s.lub(
+                &Type::temporal(obj("manager")),
+                &Type::temporal(obj("student"))
+            ),
+            Some(Type::temporal(obj("person")))
+        );
+    }
+
+    #[test]
+    fn lub_records_takes_common_fields() {
+        let s = schema();
+        let a = Type::record_of([("x", obj("manager")), ("y", Type::INTEGER)]);
+        let b = Type::record_of([("x", obj("student")), ("z", Type::REAL)]);
+        assert_eq!(s.lub(&a, &b), Some(Type::record_of([("x", obj("person"))])));
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound() {
+        let s = schema();
+        let a = Type::set_of(obj("manager"));
+        let b = Type::set_of(obj("student"));
+        let l = s.lub(&a, &b).unwrap();
+        assert!(s.is_subtype(&a, &l));
+        assert!(s.is_subtype(&b, &l));
+    }
+
+    #[test]
+    fn lub_classes_folds() {
+        let s = schema();
+        let cs = [
+            ClassId::from("manager"),
+            ClassId::from("employee"),
+            ClassId::from("student"),
+        ];
+        assert_eq!(s.lub_classes(cs.iter()), Some(ClassId::from("person")));
+        assert_eq!(s.lub_classes([].iter()), None);
+    }
+}

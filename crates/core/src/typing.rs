@@ -1,0 +1,311 @@
+//! The typing rules for values (Definition 3.6) and the
+//! soundness/completeness theorems (Theorems 3.1 and 3.2).
+
+use tchimera_temporal::{Instant, Interval};
+
+use crate::database::Database;
+use crate::error::{ModelError, Result};
+use crate::types::Type;
+use crate::value::Value;
+
+impl Database {
+    /// Infer the *principal* type of a value at instant `at`, following
+    /// the typing rules of Definition 3.6:
+    ///
+    /// * basic values type to their basic type; time values to `time`;
+    /// * an oid types to its most specific class at `at` (the rule
+    ///   `i ∈ π(c, t) ⊢ i : c` admits every class the object is a member
+    ///   of; the most specific one is the principal choice, from which all
+    ///   others follow by subsumption);
+    /// * sets and lists type to `set-of(⊔ᵢ Tᵢ)` / `list-of(⊔ᵢ Tᵢ)`, the
+    ///   least upper bound of the element types in the `≤_T` poset —
+    ///   [`ModelError::NoLub`] if none exists;
+    /// * records type field-wise;
+    /// * histories type to `temporal(⊔ᵢ Tᵢ)` over their run values, each
+    ///   run typed *over its own interval* (an oid run is typed by the most
+    ///   specific class containing the object throughout the run).
+    ///
+    /// Returns `Ok(None)` when the value has no principal type: `null` is
+    /// a value of *every* type (first rule of Definition 3.6), and empty
+    /// collections/histories are values of `set-of(T)`/… for every `T`.
+    /// Membership of such values in any candidate type is checkable with
+    /// [`Database::value_in_type`].
+    ///
+    /// **Theorem 3.1 (soundness)** holds as: if `infer_type(v, t)` returns
+    /// `Some(T)`, then `value_in_type(v, T, t)`. **Theorem 3.2
+    /// (completeness)** holds as: if `v ∈ [[T]]_t` then inference yields
+    /// either `None` (the null/empty cases, values of every type) or some
+    /// `T'` with `T' ≤_T T`. Both are exercised as property tests in
+    /// `tests/typing_theorems.rs`.
+    pub fn infer_type(&self, v: &Value, at: Instant) -> Result<Option<Type>> {
+        self.infer_type_over(v, Interval::point(at))
+    }
+
+    fn infer_type_over(&self, v: &Value, iv: Interval) -> Result<Option<Type>> {
+        let now = self.now();
+        Ok(match v {
+            Value::Null => None,
+            Value::Int(_) | Value::Real(_) | Value::Bool(_) | Value::Char(_) | Value::Str(_) => {
+                Some(Type::Basic(v.basic_type().expect("basic")))
+            }
+            Value::Time(_) => Some(Type::Time),
+            Value::Oid(i) => {
+                let o = self.object(*i)?;
+                // Most specific class covering the whole interval: the lub
+                // of the most specific classes over the run.
+                let mut acc: Option<crate::ident::ClassId> = None;
+                for e in o.class_history.entries() {
+                    let run = e.interval(now).intersect(iv);
+                    if run.is_empty() {
+                        continue;
+                    }
+                    acc = Some(match acc {
+                        None => e.value.clone(),
+                        Some(c) => self.schema().lub_class(&c, &e.value).ok_or_else(|| {
+                            ModelError::NoLub {
+                                left: Type::Object(c.clone()),
+                                right: Type::Object(e.value.clone()),
+                            }
+                        })?,
+                    });
+                }
+                // The object must be alive throughout `iv`.
+                let covered = o.class_history.domain(now);
+                if !tchimera_temporal::IntervalSet::from(iv).is_subset(&covered) {
+                    return Err(ModelError::NotInLifespan {
+                        at: iv.lo().unwrap_or(Instant::ZERO),
+                    });
+                }
+                acc.map(Type::Object)
+            }
+            Value::Set(xs) => self
+                .infer_elems(xs, iv)?
+                .map(Type::set_of),
+            Value::List(xs) => self
+                .infer_elems(xs, iv)?
+                .map(Type::list_of),
+            Value::Record(fs) => {
+                let mut fields = Vec::with_capacity(fs.len());
+                for (n, fv) in fs {
+                    match self.infer_type_over(fv, iv)? {
+                        Some(t) => fields.push((n.clone(), t)),
+                        None => return Ok(None),
+                    }
+                }
+                Some(Type::Record(fields))
+            }
+            Value::Temporal(h) => {
+                let mut acc: Option<Type> = None;
+                for e in h.entries() {
+                    let run = e.interval(now);
+                    if run.is_empty() {
+                        continue;
+                    }
+                    let Some(t) = self.infer_type_over(&e.value, run)? else {
+                        continue;
+                    };
+                    acc = Some(match acc {
+                        None => t,
+                        Some(prev) => {
+                            self.schema().lub(&prev, &t).ok_or(ModelError::NoLub {
+                                left: prev,
+                                right: t,
+                            })?
+                        }
+                    });
+                }
+                acc.map(Type::temporal)
+            }
+        })
+    }
+
+    fn infer_elems(&self, xs: &[Value], iv: Interval) -> Result<Option<Type>> {
+        let mut acc: Option<Type> = None;
+        for x in xs {
+            let Some(t) = self.infer_type_over(x, iv)? else {
+                continue;
+            };
+            acc = Some(match acc {
+                None => t,
+                Some(prev) => self.schema().lub(&prev, &t).ok_or(ModelError::NoLub {
+                    left: prev,
+                    right: t,
+                })?,
+            });
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use crate::database::{attrs, Attrs};
+    use crate::ident::{ClassId, Oid};
+    use tchimera_temporal::TemporalValue;
+
+    fn db() -> (Database, Oid, Oid, Oid) {
+        let mut db = Database::new();
+        db.define_class(ClassDef::new("person")).unwrap();
+        db.define_class(ClassDef::new("employee").isa("person")).unwrap();
+        db.define_class(ClassDef::new("student").isa("person")).unwrap();
+        db.advance_to(Instant(10)).unwrap();
+        let p = db
+            .create_object(&ClassId::from("person"), Attrs::new())
+            .unwrap();
+        let e = db
+            .create_object(&ClassId::from("employee"), Attrs::new())
+            .unwrap();
+        let s = db
+            .create_object(&ClassId::from("student"), Attrs::new())
+            .unwrap();
+        db.advance_to(Instant(100)).unwrap();
+        (db, p, e, s)
+    }
+
+    #[test]
+    fn basic_inference() {
+        let (db, ..) = db();
+        let t = Instant(50);
+        assert_eq!(db.infer_type(&Value::Int(3), t).unwrap(), Some(Type::INTEGER));
+        assert_eq!(db.infer_type(&Value::Real(1.0), t).unwrap(), Some(Type::REAL));
+        assert_eq!(
+            db.infer_type(&Value::Time(Instant(3)), t).unwrap(),
+            Some(Type::Time)
+        );
+        assert_eq!(db.infer_type(&Value::Null, t).unwrap(), None);
+    }
+
+    #[test]
+    fn oid_types_to_most_specific_class() {
+        let (db, p, e, _) = db();
+        let t = Instant(50);
+        assert_eq!(
+            db.infer_type(&Value::Oid(e), t).unwrap(),
+            Some(Type::object("employee"))
+        );
+        assert_eq!(
+            db.infer_type(&Value::Oid(p), t).unwrap(),
+            Some(Type::object("person"))
+        );
+        // Outside the lifespan: no typing derivation exists.
+        assert!(db.infer_type(&Value::Oid(e), Instant(5)).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_sets_take_the_lub() {
+        let (db, _, e, s) = db();
+        let t = Instant(50);
+        let v = Value::set([Value::Oid(e), Value::Oid(s)]);
+        assert_eq!(
+            db.infer_type(&v, t).unwrap(),
+            Some(Type::set_of(Type::object("person")))
+        );
+        // Mixed basic types have no lub.
+        let bad = Value::set([Value::Int(1), Value::str("x")]);
+        assert!(matches!(
+            db.infer_type(&bad, t),
+            Err(ModelError::NoLub { .. })
+        ));
+        // Null elements are skipped (they fit any type).
+        let with_null = Value::set([Value::Null, Value::Int(1)]);
+        assert_eq!(
+            db.infer_type(&with_null, t).unwrap(),
+            Some(Type::set_of(Type::INTEGER))
+        );
+        // Fully-null set: no principal type.
+        assert_eq!(db.infer_type(&Value::set([Value::Null]), t).unwrap(), None);
+        assert_eq!(db.infer_type(&Value::set([]), t).unwrap(), None);
+    }
+
+    #[test]
+    fn record_inference() {
+        let (db, _, e, _) = db();
+        let t = Instant(50);
+        let v = Value::record([("who", Value::Oid(e)), ("n", Value::Int(1))]);
+        assert_eq!(
+            db.infer_type(&v, t).unwrap(),
+            Some(Type::record_of([
+                ("who", Type::object("employee")),
+                ("n", Type::INTEGER)
+            ]))
+        );
+        let with_null = Value::record([("a", Value::Null)]);
+        assert_eq!(db.infer_type(&with_null, t).unwrap(), None);
+    }
+
+    #[test]
+    fn temporal_inference_types_runs_over_their_intervals() {
+        let (db, _, e, s) = db();
+        let t = Instant(50);
+        let h = TemporalValue::from_pairs([
+            (Interval::from_ticks(10, 20), Value::Oid(e)),
+            (Interval::from_ticks(21, 30), Value::Oid(s)),
+        ])
+        .unwrap();
+        assert_eq!(
+            db.infer_type(&Value::Temporal(h), t).unwrap(),
+            Some(Type::temporal(Type::object("person")))
+        );
+        let ints = TemporalValue::from_pairs([
+            (Interval::from_ticks(10, 20), Value::Int(1)),
+        ])
+        .unwrap();
+        assert_eq!(
+            db.infer_type(&Value::Temporal(ints), t).unwrap(),
+            Some(Type::temporal(Type::INTEGER))
+        );
+        assert_eq!(
+            db.infer_type(&Value::Temporal(TemporalValue::new()), t).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn migrating_object_types_by_run_coverage() {
+        // An oid run spanning a migration types to the lub of the classes
+        // it passed through.
+        let mut db = Database::new();
+        db.define_class(ClassDef::new("person")).unwrap();
+        db.define_class(ClassDef::new("employee").isa("person")).unwrap();
+        db.advance_to(Instant(10)).unwrap();
+        let i = db
+            .create_object(&ClassId::from("employee"), Attrs::new())
+            .unwrap();
+        db.advance_to(Instant(50)).unwrap();
+        db.migrate(i, &ClassId::from("person"), attrs::<&str, _>([]))
+            .unwrap();
+        db.advance_to(Instant(100)).unwrap();
+        // Over [20,30] it was an employee.
+        let h1 = TemporalValue::from_pairs([(Interval::from_ticks(20, 30), Value::Oid(i))])
+            .unwrap();
+        assert_eq!(
+            db.infer_type(&Value::Temporal(h1), db.now()).unwrap(),
+            Some(Type::temporal(Type::object("employee")))
+        );
+        // Over [20,60] it migrated: lub is person.
+        let h2 = TemporalValue::from_pairs([(Interval::from_ticks(20, 60), Value::Oid(i))])
+            .unwrap();
+        assert_eq!(
+            db.infer_type(&Value::Temporal(h2), db.now()).unwrap(),
+            Some(Type::temporal(Type::object("person")))
+        );
+    }
+
+    #[test]
+    fn soundness_spot_checks() {
+        // Theorem 3.1: inferred types contain their values.
+        let (db, p, e, s) = db();
+        let t = Instant(50);
+        for v in [
+            Value::Int(1),
+            Value::Oid(e),
+            Value::set([Value::Oid(e), Value::Oid(s), Value::Oid(p)]),
+            Value::record([("a", Value::list([Value::Int(1), Value::Int(2)]))]),
+        ] {
+            let ty = db.infer_type(&v, t).unwrap().expect("principal type");
+            assert!(db.value_in_type(&v, &ty, t), "soundness failed for {v}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Property tests over random operation sequences: every reachable
+//! database state satisfies the paper's invariants (5.1, 5.2, 6.1, 6.2),
+//! is consistent (Definitions 5.5/5.6), and the equality notions respect
+//! their implication chain (Section 5.3).
+
+use proptest::prelude::*;
+use tchimera_core::{
+    attrs, Attrs, ClassDef, ClassId, Database, Equality, ModelError, Oid, Type, Value,
+};
+
+/// One step of a random workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Tick(u64),
+    Create { class: usize },
+    SetSalary { target: usize, value: i64 },
+    SetAddress { target: usize, value: i64 },
+    Migrate { target: usize, class: usize },
+    Terminate { target: usize },
+}
+
+const CLASSES: [&str; 5] = ["person", "employee", "manager", "student", "vehicle"];
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..5).prop_map(Op::Tick),
+        (0usize..CLASSES.len()).prop_map(|class| Op::Create { class }),
+        (0usize..16, -50i64..50).prop_map(|(target, value)| Op::SetSalary { target, value }),
+        (0usize..16, 0i64..50).prop_map(|(target, value)| Op::SetAddress { target, value }),
+        (0usize..16, 0usize..CLASSES.len())
+            .prop_map(|(target, class)| Op::Migrate { target, class }),
+        (0usize..16).prop_map(|target| Op::Terminate { target }),
+    ]
+}
+
+fn build_schema(db: &mut Database) {
+    db.define_class(ClassDef::new("person").attr("address", Type::STRING))
+        .unwrap();
+    db.define_class(
+        ClassDef::new("employee")
+            .isa("person")
+            .attr("salary", Type::temporal(Type::INTEGER)),
+    )
+    .unwrap();
+    db.define_class(ClassDef::new("manager").isa("employee")).unwrap();
+    db.define_class(ClassDef::new("student").isa("person")).unwrap();
+    db.define_class(ClassDef::new("vehicle")).unwrap();
+}
+
+/// Run a workload, ignoring expected rejections (dead objects, cross-
+/// hierarchy migrations, type errors): what matters is that no *accepted*
+/// operation ever leaves the database in a state violating the model.
+fn run_ops(ops: &[Op]) -> (Database, Vec<Oid>) {
+    let mut db = Database::new();
+    build_schema(&mut db);
+    let mut oids: Vec<Oid> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Tick(n) => {
+                db.tick_by(*n);
+            }
+            Op::Create { class } => {
+                let cid = ClassId::from(CLASSES[*class]);
+                let init = if CLASSES[*class] == "employee" || CLASSES[*class] == "manager" {
+                    attrs([("salary", Value::Int(100))])
+                } else {
+                    Attrs::new()
+                };
+                match db.create_object(&cid, init) {
+                    Ok(i) => oids.push(i),
+                    Err(e) => panic!("create must not fail: {e}"),
+                }
+            }
+            Op::SetSalary { target, value } => {
+                if let Some(&i) = oids.get(target % oids.len().max(1)) {
+                    match db.set_attr(i, &"salary".into(), Value::Int(*value)) {
+                        Ok(()) => {}
+                        Err(
+                            ModelError::ObjectDead(_)
+                            | ModelError::UnknownAttribute { .. }
+                            | ModelError::History(_),
+                        ) => {}
+                        Err(e) => panic!("unexpected set_attr error: {e}"),
+                    }
+                }
+            }
+            Op::SetAddress { target, value } => {
+                if let Some(&i) = oids.get(target % oids.len().max(1)) {
+                    match db.set_attr(i, &"address".into(), Value::str(format!("a{value}"))) {
+                        Ok(())
+                        | Err(
+                            ModelError::ObjectDead(_) | ModelError::UnknownAttribute { .. },
+                        ) => {}
+                        Err(e) => panic!("unexpected set_attr error: {e}"),
+                    }
+                }
+            }
+            Op::Migrate { target, class } => {
+                if let Some(&i) = oids.get(target % oids.len().max(1)) {
+                    let cid = ClassId::from(CLASSES[*class]);
+                    let init = if CLASSES[*class] == "employee" || CLASSES[*class] == "manager"
+                    {
+                        attrs([("salary", Value::Int(1))])
+                    } else {
+                        Attrs::new()
+                    };
+                    match db.migrate(i, &cid, init) {
+                        Ok(())
+                        | Err(
+                            ModelError::ObjectDead(_)
+                            | ModelError::CrossHierarchyMigration { .. }
+                            | ModelError::History(_),
+                        ) => {}
+                        Err(e) => panic!("unexpected migrate error: {e}"),
+                    }
+                }
+            }
+            Op::Terminate { target } => {
+                if let Some(&i) = oids.get(target % oids.len().max(1)) {
+                    match db.terminate_object(i) {
+                        Ok(()) | Err(ModelError::ObjectDead(_)) => {}
+                        Err(e) => panic!("unexpected terminate error: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    (db, oids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reachable state satisfies Invariants 5.1, 5.2, 6.1, 6.2.
+    #[test]
+    fn invariants_hold_on_reachable_states(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let (db, _) = run_ops(&ops);
+        let violations = db.check_invariants();
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// Every reachable state is consistent per Definitions 5.5 and 5.6
+    /// (all objects consistent; referential integrity — the workload never
+    /// stores object references, so it must hold trivially).
+    #[test]
+    fn consistency_holds_on_reachable_states(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let (db, _) = run_ops(&ops);
+        let report = db.check_database();
+        prop_assert!(report.is_consistent(), "violations: {:?}", report.errors);
+    }
+
+    /// The equality implication chain (Section 5.3): identity ⇒ value ⇒
+    /// instantaneous ⇒ weak, over every pair of live generated objects.
+    #[test]
+    fn equality_implication_chain(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let (db, oids) = run_ops(&ops);
+        for &a in oids.iter().take(6) {
+            for &b in oids.iter().take(6) {
+                if db.eq_identity(a, b) {
+                    prop_assert!(db.eq_value(a, b).unwrap(), "identity ⇏ value for {a},{b}");
+                }
+                if db.eq_value(a, b).unwrap() {
+                    // Value equality implies instantaneous equality when a
+                    // comparison instant exists: the lifespans must
+                    // overlap (Definition 5.9 quantifies over the
+                    // intersection), and for objects with static
+                    // attributes snapshots are only defined at `now`
+                    // (Section 5.3), so `now` must lie in the overlap.
+                    let la = db.o_lifespan(a).unwrap();
+                    let lb = db.o_lifespan(b).unwrap();
+                    let now = db.now();
+                    let common = la.resolve(now).intersect(lb.resolve(now));
+                    let has_static = db.object(a).unwrap().has_static_attrs()
+                        || db.object(b).unwrap().has_static_attrs();
+                    let comparable =
+                        !common.is_empty() && (!has_static || common.contains(now));
+                    if comparable {
+                        prop_assert!(
+                            db.eq_instantaneous(a, b).unwrap().is_some(),
+                            "value ⇏ instantaneous for {a},{b}"
+                        );
+                    }
+                }
+                if db.eq_instantaneous(a, b).unwrap().is_some() {
+                    prop_assert!(
+                        db.eq_weak(a, b).unwrap().is_some(),
+                        "instantaneous ⇏ weak for {a},{b}"
+                    );
+                }
+                // strongest_equality agrees with the individual tests.
+                let s = db.strongest_equality(a, b).unwrap();
+                match s {
+                    Some(Equality::Identity) => prop_assert!(a == b),
+                    Some(Equality::Value) => {
+                        prop_assert!(db.eq_value(a, b).unwrap() && a != b)
+                    }
+                    Some(Equality::Instantaneous) => {
+                        prop_assert!(!db.eq_value(a, b).unwrap());
+                        prop_assert!(db.eq_instantaneous(a, b).unwrap().is_some());
+                    }
+                    Some(Equality::Weak) => {
+                        prop_assert!(db.eq_instantaneous(a, b).unwrap().is_none());
+                        prop_assert!(db.eq_weak(a, b).unwrap().is_some());
+                    }
+                    None => prop_assert!(db.eq_weak(a, b).unwrap().is_none()),
+                }
+            }
+        }
+    }
+
+    /// Class histories and extents remain mutually derivable: `π(c, t)`
+    /// agrees with the objects' class histories at sampled instants
+    /// (the ⇔ of Invariant 5.2 condition 2, checked extensionally).
+    #[test]
+    fn pi_agrees_with_class_histories(ops in prop::collection::vec(arb_op(), 1..50), t in 0u64..60) {
+        let (db, oids) = run_ops(&ops);
+        let t = tchimera_core::Instant(t.min(db.now().ticks()));
+        for class in CLASSES {
+            let cid = ClassId::from(class);
+            let ext = db.pi(&cid, t).unwrap();
+            for &i in &oids {
+                let o = db.object(i).unwrap();
+                let member_by_history = o
+                    .class_at(t, db.now())
+                    .map(|c| db.schema().is_subclass(c, &cid))
+                    .unwrap_or(false);
+                prop_assert_eq!(
+                    ext.contains(&i),
+                    member_by_history,
+                    "π({}, {}) disagrees with class history of {}", &cid, t, i
+                );
+            }
+        }
+    }
+}

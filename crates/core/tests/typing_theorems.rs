@@ -1,0 +1,306 @@
+//! Property tests for the paper's typing theorems:
+//!
+//! * **Theorem 3.1 (soundness)** — a type deduced by the Definition 3.6
+//!   rules contains the value: `infer_type(v, t) = Some(T)` implies
+//!   `v ∈ [[T]]_t`.
+//! * **Theorem 3.2 (completeness)** — a legal value of `T` at `t` is
+//!   deduced a type from which `T` follows: if `v ∈ [[T]]_t` (here: `v`
+//!   generated *from* `T`), inference returns either no principal type
+//!   (null / empty collections — values of every type) or some `T' ≤_T T`.
+//! * **Theorem 6.1** — `T1 ≤_T T2 ⇒ ∀t. [[T1]]_t ⊆ [[T2]]_t`.
+
+use proptest::prelude::*;
+use tchimera_core::{
+    attrs, Attrs, ClassDef, ClassId, Database, Instant, Interval, Oid, TemporalValue, Type, Value,
+};
+
+/// Classes whose full extent is stable over `[10, 100]` (objects created at
+/// 10, never migrated): any member oid is usable in temporal runs anywhere
+/// within that window.
+const CLASSES: [&str; 4] = ["person", "employee", "manager", "student"];
+
+/// Build the test database: the staff hierarchy plus three stable objects
+/// per class and one migrating object.
+fn build_db() -> (Database, Vec<(ClassId, Vec<Oid>)>, Oid) {
+    let mut db = Database::new();
+    db.define_class(ClassDef::new("person")).unwrap();
+    db.define_class(ClassDef::new("employee").isa("person")).unwrap();
+    db.define_class(ClassDef::new("manager").isa("employee")).unwrap();
+    db.define_class(ClassDef::new("student").isa("person")).unwrap();
+    db.advance_to(Instant(10)).unwrap();
+    let mut extents = Vec::new();
+    for c in CLASSES {
+        let cid = ClassId::from(c);
+        let oids: Vec<Oid> = (0..3)
+            .map(|_| db.create_object(&cid, Attrs::new()).unwrap())
+            .collect();
+        extents.push((cid, oids));
+    }
+    // One object that migrates at t=50 (employee → manager).
+    let migrant = db
+        .create_object(&ClassId::from("employee"), Attrs::new())
+        .unwrap();
+    db.advance_to(Instant(50)).unwrap();
+    db.migrate(migrant, &ClassId::from("manager"), attrs::<&str, _>([]))
+        .unwrap();
+    db.advance_to(Instant(100)).unwrap();
+    (db, extents, migrant)
+}
+
+/// A recipe for generating a (type, member value) pair.
+#[derive(Clone, Debug)]
+enum Shape {
+    Basic(u8),
+    Time,
+    Object(usize),
+    Set(Box<Shape>, u8),
+    List(Box<Shape>, u8),
+    Record(Vec<(String, Shape)>),
+    Temporal(Box<Shape>, Vec<(u64, u64)>),
+    Null(Box<Shape>),
+}
+
+fn arb_shape(depth: u32) -> BoxedStrategy<Shape> {
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(Shape::Basic),
+        Just(Shape::Time),
+        (0usize..CLASSES.len()).prop_map(Shape::Object),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), 0u8..4).prop_map(|(s, n)| Shape::Set(Box::new(s), n)),
+            (inner.clone(), 0u8..4).prop_map(|(s, n)| Shape::List(Box::new(s), n)),
+            prop::collection::vec(("[a-d]", inner.clone()), 1..4).prop_map(|fs| {
+                let mut fields: Vec<(String, Shape)> = Vec::new();
+                for (n, s) in fs {
+                    if !fields.iter().any(|(m, _)| *m == n) {
+                        fields.push((n, s));
+                    }
+                }
+                Shape::Record(fields)
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec((10u64..90, 1u64..10), 1..4)
+            )
+                .prop_filter("no temporal nesting", |(s, _)| !contains_temporal_or_time(s))
+                .prop_map(|(s, runs)| Shape::Temporal(Box::new(s), runs)),
+            inner.prop_map(|s| Shape::Null(Box::new(s))),
+        ]
+    })
+    .boxed()
+}
+
+fn contains_temporal_or_time(s: &Shape) -> bool {
+    match s {
+        Shape::Time => true,
+        Shape::Temporal(..) => true,
+        Shape::Basic(_) | Shape::Object(_) => false,
+        Shape::Set(s, _) | Shape::List(s, _) | Shape::Null(s) => contains_temporal_or_time(s),
+        Shape::Record(fs) => fs.iter().any(|(_, s)| contains_temporal_or_time(s)),
+    }
+}
+
+/// Instantiate a shape into a type and a value that is a member of that
+/// type at every instant of `[10, 100]`.
+fn realize(
+    shape: &Shape,
+    extents: &[(ClassId, Vec<Oid>)],
+    salt: u64,
+) -> (Type, Value) {
+    match shape {
+        Shape::Basic(k) => match k % 5 {
+            0 => (Type::INTEGER, Value::Int(salt as i64)),
+            1 => (Type::REAL, Value::Real(salt as f64 * 0.5)),
+            2 => (Type::BOOL, Value::Bool(salt % 2 == 0)),
+            3 => (Type::CHARACTER, Value::Char(char::from(b'a' + (salt % 26) as u8))),
+            _ => (Type::STRING, Value::str(format!("s{salt}"))),
+        },
+        Shape::Time => (Type::Time, Value::Time(Instant(salt % 1000))),
+        Shape::Object(k) => {
+            let (cid, oids) = &extents[*k % extents.len()];
+            let oid = oids[(salt as usize) % oids.len()];
+            (Type::Object(cid.clone()), Value::Oid(oid))
+        }
+        Shape::Set(inner, n) => {
+            let (t, _) = realize(inner, extents, salt);
+            let items: Vec<Value> = (0..*n)
+                .map(|i| realize(inner, extents, salt.wrapping_add(i as u64)).1)
+                .collect();
+            (Type::set_of(t), Value::set(items))
+        }
+        Shape::List(inner, n) => {
+            let (t, _) = realize(inner, extents, salt);
+            let items: Vec<Value> = (0..*n)
+                .map(|i| realize(inner, extents, salt.wrapping_add(i as u64)).1)
+                .collect();
+            (Type::list_of(t), Value::list(items))
+        }
+        Shape::Record(fs) => {
+            let mut tys = Vec::new();
+            let mut vals = Vec::new();
+            for (i, (n, s)) in fs.iter().enumerate() {
+                let (t, v) = realize(s, extents, salt.wrapping_add(i as u64 * 7));
+                tys.push((n.clone(), t));
+                vals.push((n.clone(), v));
+            }
+            (Type::record_of(tys), Value::record(vals))
+        }
+        Shape::Temporal(inner, runs) => {
+            let (t, _) = realize(inner, extents, salt);
+            let mut pairs = Vec::new();
+            let mut cursor = 10u64;
+            for (i, (start, len)) in runs.iter().enumerate() {
+                let s = cursor.max(*start);
+                let e = (s + len).min(99);
+                if s > 99 || e < s {
+                    break;
+                }
+                let v = realize(inner, extents, salt.wrapping_add(i as u64 * 13)).1;
+                pairs.push((Interval::from_ticks(s, e), v));
+                cursor = e + 2;
+            }
+            let h = TemporalValue::from_pairs(pairs).expect("disjoint by construction");
+            (Type::temporal(t), Value::Temporal(h))
+        }
+        Shape::Null(inner) => {
+            let (t, _) = realize(inner, extents, salt);
+            (t, Value::Null)
+        }
+    }
+}
+
+/// Generalize a type by walking up the subtype order: returns some `T'`
+/// with `T ≤_T T'`.
+fn generalize(db: &Database, t: &Type, choice: u64) -> Type {
+    match t {
+        Type::Object(c) => {
+            let sups = db.schema().superclasses_of(c);
+            if sups.is_empty() {
+                t.clone()
+            } else {
+                Type::Object(sups[(choice as usize) % sups.len()].clone())
+            }
+        }
+        Type::Set(x) => Type::set_of(generalize(db, x, choice)),
+        Type::List(x) => Type::list_of(generalize(db, x, choice)),
+        Type::Temporal(x) => Type::temporal(generalize(db, x, choice)),
+        Type::Record(fs) => {
+            // Drop one field (width) and generalize the rest (depth).
+            let keep: Vec<(tchimera_core::AttrName, Type)> = fs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| fs.len() == 1 || *i != (choice as usize) % fs.len())
+                .map(|(i, (n, ft))| (n.clone(), generalize(db, ft, choice.wrapping_add(i as u64))))
+                .collect();
+            Type::Record(keep)
+        }
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 3.1 + 3.2 on generated members: the value is in the
+    /// extension of its generating type, and inference returns a subtype.
+    #[test]
+    fn typing_soundness_and_completeness(shape in arb_shape(3), salt in 0u64..1000, at in 10u64..100) {
+        let (db, extents, _) = build_db();
+        let (ty, v) = realize(&shape, &extents, salt);
+        let at = Instant(at);
+        // Completeness precondition: v ∈ [[T]]_t by construction.
+        prop_assert!(
+            db.value_in_type(&v, &ty, at),
+            "generated value {v} not in its type {ty} at {at}"
+        );
+        // Inference (Definition 3.6).
+        match db.infer_type(&v, at) {
+            Ok(Some(inferred)) => {
+                // Theorem 3.1: the deduced type contains the value.
+                prop_assert!(
+                    db.value_in_type(&v, &inferred, at),
+                    "soundness: {v} not in inferred {inferred}"
+                );
+                // Theorem 3.2: the deduced type entails membership in the
+                // generating type via subsumption.
+                prop_assert!(
+                    db.schema().is_subtype(&inferred, &ty),
+                    "completeness: inferred {inferred} not ≤ {ty}"
+                );
+            }
+            Ok(None) => {
+                // Null / empty collections: values of every type.
+            }
+            Err(e) => prop_assert!(false, "inference failed on generated value: {e}"),
+        }
+    }
+
+    /// Theorem 6.1: `T1 ≤_T T2 ⇒ [[T1]]_t ⊆ [[T2]]_t`, witnessed over
+    /// generated members of `T1` and a generalization `T2`.
+    #[test]
+    fn extension_inclusion(shape in arb_shape(3), salt in 0u64..1000, choice in 0u64..8, at in 10u64..100) {
+        let (db, extents, _) = build_db();
+        let (t1, v) = realize(&shape, &extents, salt);
+        let t2 = generalize(&db, &t1, choice);
+        prop_assert!(db.schema().is_subtype(&t1, &t2), "{t1} not ≤ {t2}");
+        let at = Instant(at);
+        prop_assert!(db.value_in_type(&v, &t1, at));
+        prop_assert!(
+            db.value_in_type(&v, &t2, at),
+            "Theorem 6.1 violated: {v} ∈ [[{t1}]] but ∉ [[{t2}]]"
+        );
+    }
+
+    /// Subtyping is reflexive and transitive on generated types (poset
+    /// sanity backing Definition 6.1).
+    #[test]
+    fn subtyping_is_a_preorder(shape in arb_shape(2), c1 in 0u64..8, c2 in 0u64..8) {
+        let (db, extents, _) = build_db();
+        let (t1, _) = realize(&shape, &extents, 0);
+        let t2 = generalize(&db, &t1, c1);
+        let t3 = generalize(&db, &t2, c2);
+        prop_assert!(db.schema().is_subtype(&t1, &t1));
+        prop_assert!(db.schema().is_subtype(&t1, &t2));
+        prop_assert!(db.schema().is_subtype(&t2, &t3));
+        prop_assert!(db.schema().is_subtype(&t1, &t3), "transitivity failed");
+    }
+
+    /// The lub (when defined) is an upper bound and contains both values
+    /// (the property Definition 3.6 needs for heterogeneous collections).
+    #[test]
+    fn lub_upper_bound(s1 in arb_shape(2), s2 in arb_shape(2), at in 10u64..100) {
+        let (db, extents, _) = build_db();
+        let (t1, v1) = realize(&s1, &extents, 1);
+        let (t2, v2) = realize(&s2, &extents, 2);
+        if let Some(l) = db.schema().lub(&t1, &t2) {
+            prop_assert!(db.schema().is_subtype(&t1, &l));
+            prop_assert!(db.schema().is_subtype(&t2, &l));
+            let at = Instant(at);
+            prop_assert!(db.value_in_type(&v1, &l, at));
+            prop_assert!(db.value_in_type(&v2, &l, at));
+        }
+    }
+}
+
+/// Inference on values containing the migrating object must still be sound
+/// (the run-coverage lub logic).
+#[test]
+fn soundness_with_migrating_object() {
+    let (db, _, migrant) = build_db();
+    // A run spanning the migration (t=50).
+    let h = TemporalValue::from_pairs([(Interval::from_ticks(20, 80), Value::Oid(migrant))])
+        .unwrap();
+    let v = Value::Temporal(h);
+    let at = Instant(90);
+    let inferred = db.infer_type(&v, at).unwrap().unwrap();
+    assert_eq!(inferred, Type::temporal(Type::object("employee")));
+    assert!(db.value_in_type(&v, &inferred, at));
+    // A run after the migration types to manager.
+    let h2 = TemporalValue::from_pairs([(Interval::from_ticks(60, 80), Value::Oid(migrant))])
+        .unwrap();
+    let v2 = Value::Temporal(h2);
+    let inferred2 = db.infer_type(&v2, at).unwrap().unwrap();
+    assert_eq!(inferred2, Type::temporal(Type::object("manager")));
+    assert!(db.value_in_type(&v2, &inferred2, at));
+}

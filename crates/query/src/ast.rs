@@ -1,0 +1,263 @@
+//! The TCQL abstract syntax tree.
+
+use tchimera_core::{AttrName, ClassDef, ClassId, Oid, Value};
+
+/// A literal value in query source.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// `null`
+    Null,
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `true` / `false`
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Oid literal `#n`.
+    Oid(u64),
+    /// Set literal `{l1, …, ln}`.
+    Set(Vec<Literal>),
+    /// List literal `[l1, …, ln]`.
+    List(Vec<Literal>),
+}
+
+impl Literal {
+    /// Lower to a model value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Null => Value::Null,
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Real(v) => Value::Real(*v),
+            Literal::Bool(v) => Value::Bool(*v),
+            Literal::Str(s) => Value::str(s.clone()),
+            Literal::Oid(v) => Value::Oid(Oid(*v)),
+            Literal::Set(xs) => Value::set(xs.iter().map(Literal::to_value)),
+            Literal::List(xs) => Value::list(xs.iter().map(Literal::to_value)),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A boolean/value expression over the range variables of a `SELECT`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A literal.
+    Lit(Literal),
+    /// A bare range variable — evaluates to the bound object's oid
+    /// (enables join predicates like `e.boss = m`).
+    Var(String),
+    /// `var.attr` — the attribute value at the evaluation instant
+    /// (temporal attributes resolve through their history).
+    Attr(String, AttrName),
+    /// `var.attr AT t` — the attribute value at an explicit instant.
+    AttrAt(String, AttrName, u64),
+    /// `DEFINED(e)` — `e` evaluates to a non-null value.
+    Defined(Box<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `var IN class` — membership of the bound object in a class at the
+    /// evaluation instant.
+    IsMember(String, ClassId),
+    /// `ALWAYS(e)` — `e` holds at every instant of the bound objects'
+    /// common lifespan (up to the evaluation instant).
+    Always(Box<Expr>),
+    /// `SOMETIME(e)` — `e` held at some instant of that lifespan.
+    Sometime(Box<Expr>),
+}
+
+/// A projection of a `SELECT`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Projection {
+    /// `var` — the oid of the range object.
+    Var,
+    /// `var.attr` — attribute value at the evaluation instant.
+    Attr(AttrName),
+    /// `HISTORY OF var.attr` — the full (window-restricted) history.
+    HistoryOf(AttrName),
+    /// `SNAPSHOT OF var` — the `snapshot` function (Section 5.3).
+    SnapshotOf,
+    /// `CLASS OF var` — the most specific class at the evaluation instant.
+    ClassOf,
+    /// `LIFESPAN OF var` — the object lifespan.
+    LifespanOf,
+    /// `COUNT(var)` — the number of qualifying objects (must be the only
+    /// projection).
+    Count,
+}
+
+/// The temporal scope of a `SELECT` (defaults to the current instant).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TimeSpec {
+    /// Evaluate at `now`.
+    Now,
+    /// `AS OF t` — evaluate at a past instant (ranges over `π(c, t)`).
+    AsOf(u64),
+    /// `DURING [a, b]` — range over objects ever a member within the
+    /// window; histories restricted to it.
+    During(u64, u64),
+}
+
+/// A `SELECT` statement. Multiple range variables form a (temporal)
+/// cross product filtered by `WHERE` — the join idiom:
+///
+/// ```text
+/// select e.name, m.name from employee e, manager m where e.boss = m
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Select {
+    /// Projections, left to right, each naming the variable it projects.
+    pub projections: Vec<(String, Projection)>,
+    /// The range variables: `(class, name)` pairs, in declaration order.
+    pub vars: Vec<(ClassId, String)>,
+    /// Temporal scope.
+    pub time: TimeSpec,
+    /// Optional filter.
+    pub filter: Option<Expr>,
+    /// `ORDER BY var.attr [DESC]`.
+    pub order: Option<OrderBy>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// An `ORDER BY` clause.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OrderBy {
+    /// The range variable.
+    pub var: String,
+    /// The attribute supplying the sort key (evaluated like `var.attr`).
+    pub attr: AttrName,
+    /// `true` for descending order.
+    pub desc: bool,
+}
+
+impl Select {
+    /// The class a variable ranges over.
+    pub fn class_of(&self, var: &str) -> Option<&ClassId> {
+        self.vars
+            .iter()
+            .find(|(_, v)| v == var)
+            .map(|(c, _)| c)
+    }
+}
+
+/// The constraint kinds expressible in TCQL (lowered to
+/// [`tchimera_core::Constraint`]).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ConstraintSpec {
+    /// `covered class.attr`
+    Covered(ClassId, AttrName),
+    /// `non-decreasing class.attr`
+    NonDecreasing(ClassId, AttrName),
+    /// `constant class.attr`
+    Constant(ClassId, AttrName),
+    /// `never-null class.attr`
+    NeverNull(ClassId, AttrName),
+    /// `range class.attr [min, max] (always|sometime)`
+    Range {
+        /// The constrained class.
+        class: ClassId,
+        /// The attribute.
+        attr: AttrName,
+        /// Lower bound.
+        min: Literal,
+        /// Upper bound.
+        max: Literal,
+        /// `true` = always, `false` = sometime.
+        always: bool,
+    },
+}
+
+/// A TCQL statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `DEFINE CLASS …`
+    DefineClass(ClassDef),
+    /// `DROP CLASS name`
+    DropClass(ClassId),
+    /// `CREATE class (a := lit, …)`
+    Create {
+        /// Target class.
+        class: ClassId,
+        /// Initial bindings.
+        init: Vec<(AttrName, Literal)>,
+    },
+    /// `SET #oid.attr := lit`
+    Set {
+        /// Target object.
+        oid: u64,
+        /// Attribute.
+        attr: AttrName,
+        /// New value.
+        value: Literal,
+    },
+    /// `SET CLASS ATTRIBUTE class.attr := lit`
+    SetCAttr {
+        /// Target class.
+        class: ClassId,
+        /// C-attribute.
+        attr: AttrName,
+        /// New value.
+        value: Literal,
+    },
+    /// `MIGRATE #oid TO class (a := lit, …)`
+    Migrate {
+        /// Target object.
+        oid: u64,
+        /// Destination class.
+        to: ClassId,
+        /// Bindings for acquired attributes.
+        init: Vec<(AttrName, Literal)>,
+    },
+    /// `TERMINATE #oid`
+    Terminate {
+        /// Target object.
+        oid: u64,
+    },
+    /// `TICK [n]`
+    Tick(u64),
+    /// `ADVANCE TO t`
+    AdvanceTo(u64),
+    /// A query.
+    Select(Select),
+    /// `SHOW CLASS name`
+    ShowClass(ClassId),
+    /// `COMPARE #a #b` — report the strongest equality notion holding
+    /// between two objects (Definitions 5.7–5.10).
+    Compare {
+        /// First object.
+        a: u64,
+        /// Second object.
+        b: u64,
+    },
+    /// `CHECK CONSTRAINT <kind> class.attr …` — evaluate a temporal
+    /// integrity constraint (Section 7 future work).
+    CheckConstraint(ConstraintSpec),
+    /// `CHECK CONSISTENCY`
+    CheckConsistency,
+    /// `CHECK INVARIANTS`
+    CheckInvariants,
+}

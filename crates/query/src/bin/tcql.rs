@@ -1,0 +1,76 @@
+//! `tcql` — an interactive shell (and script runner) for TCQL.
+//!
+//! ```text
+//! tcql                 # interactive REPL on an in-memory database
+//! tcql script.tcql     # run a script file, print each outcome
+//! ```
+
+use std::io::{BufRead, Write};
+
+use tchimera_query::{Interpreter, Outcome};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut interp = Interpreter::new();
+
+    if let Some(path) = args.first() {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match interp.run_script(&src) {
+            Ok(outcomes) => {
+                for o in outcomes {
+                    println!("{o}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("TCQL shell — T_Chimera temporal object-oriented database");
+    println!("type statements ending with `;`, or `quit;` to exit\n");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("tcql> ");
+        } else {
+            print!("  ... ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').trim().to_owned();
+        buffer.clear();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt.eq_ignore_ascii_case("quit") || stmt.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match interp.run(&stmt) {
+            Ok(Outcome::Ok) => println!("ok (now = {})", interp.db().now()),
+            Ok(o) => println!("{o}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

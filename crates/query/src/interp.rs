@@ -1,0 +1,568 @@
+//! The TCQL interpreter: parse → type-check → execute against a database.
+
+use std::fmt;
+
+use tchimera_core::{
+    ConsistencyReport, Constraint, ConstraintViolation, Database, Equality, Instant,
+    InvariantViolation, ModelError, Oid, Quantifier,
+};
+
+use crate::ast::{ConstraintSpec, Stmt};
+use crate::eval::{eval_select, EvalError, QueryResult};
+use crate::parser::{parse, parse_script, ParseError};
+use crate::typecheck::{check_select, TypeError};
+
+/// Any error produced while running a TCQL statement.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexical/syntactic error.
+    Parse(ParseError),
+    /// Static type error.
+    Type(TypeError),
+    /// Model rejection during execution.
+    Model(ModelError),
+    /// Runtime evaluation error.
+    Eval(EvalError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Type(e) => write!(f, "type error: {e}"),
+            QueryError::Model(e) => write!(f, "{e}"),
+            QueryError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+impl From<TypeError> for QueryError {
+    fn from(e: TypeError) -> Self {
+        QueryError::Type(e)
+    }
+}
+impl From<ModelError> for QueryError {
+    fn from(e: ModelError) -> Self {
+        QueryError::Model(e)
+    }
+}
+impl From<EvalError> for QueryError {
+    fn from(e: EvalError) -> Self {
+        QueryError::Eval(e)
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum Outcome {
+    /// DDL/DML acknowledged.
+    Ok,
+    /// An object was created.
+    Created(Oid),
+    /// The clock moved.
+    Time(Instant),
+    /// Query rows.
+    Table(QueryResult),
+    /// Class description (from `SHOW CLASS`).
+    ClassInfo(String),
+    /// `CHECK CONSISTENCY` report.
+    Consistency(ConsistencyReport),
+    /// `CHECK INVARIANTS` report.
+    Invariants(Vec<InvariantViolation>),
+    /// `COMPARE` result: the strongest equality, if any.
+    Equality(Option<Equality>),
+    /// `CHECK CONSTRAINT` report.
+    Constraint(Vec<ConstraintViolation>),
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Ok => write!(f, "ok"),
+            Outcome::Created(i) => write!(f, "created {i}"),
+            Outcome::Time(t) => write!(f, "now = {t}"),
+            Outcome::Table(t) => write!(f, "{t}"),
+            Outcome::ClassInfo(s) => write!(f, "{s}"),
+            Outcome::Consistency(r) => {
+                if r.is_consistent() {
+                    write!(f, "consistent")
+                } else {
+                    writeln!(f, "{} violation(s):", r.len())?;
+                    for e in &r.errors {
+                        writeln!(f, "  {e}")?;
+                    }
+                    Ok(())
+                }
+            }
+            Outcome::Invariants(v) => {
+                if v.is_empty() {
+                    write!(f, "all invariants hold")
+                } else {
+                    writeln!(f, "{} violation(s):", v.len())?;
+                    for e in v {
+                        writeln!(f, "  {e}")?;
+                    }
+                    Ok(())
+                }
+            }
+            Outcome::Equality(None) => write!(f, "not equal under any notion"),
+            Outcome::Equality(Some(e)) => write!(f, "strongest equality: {e:?}"),
+            Outcome::Constraint(v) => {
+                if v.is_empty() {
+                    write!(f, "constraint satisfied")
+                } else {
+                    writeln!(f, "{} violation(s):", v.len())?;
+                    for e in v {
+                        writeln!(f, "  {e}")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A stateful TCQL interpreter owning a [`Database`].
+#[derive(Default)]
+pub struct Interpreter {
+    db: Database,
+}
+
+impl Interpreter {
+    /// A fresh interpreter over an empty database.
+    #[must_use]
+    pub fn new() -> Interpreter {
+        Interpreter::default()
+    }
+
+    /// Wrap an existing database.
+    #[must_use]
+    pub fn with_db(db: Database) -> Interpreter {
+        Interpreter { db }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database (for mixing API and TCQL
+    /// use).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Parse, type-check and execute a single statement.
+    pub fn run(&mut self, src: &str) -> Result<Outcome, QueryError> {
+        let stmt = parse(src)?;
+        self.execute(stmt)
+    }
+
+    /// Run a `;`-separated script, stopping at the first error; returns
+    /// the outcome of each executed statement.
+    pub fn run_script(&mut self, src: &str) -> Result<Vec<Outcome>, QueryError> {
+        let stmts = parse_script(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.execute(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute(&mut self, stmt: Stmt) -> Result<Outcome, QueryError> {
+        Ok(match stmt {
+            Stmt::DefineClass(def) => {
+                self.db.define_class(def)?;
+                Outcome::Ok
+            }
+            Stmt::DropClass(c) => {
+                self.db.drop_class(&c)?;
+                Outcome::Ok
+            }
+            Stmt::Create { class, init } => {
+                let init = init
+                    .into_iter()
+                    .map(|(n, l)| (n, l.to_value()))
+                    .collect();
+                Outcome::Created(self.db.create_object(&class, init)?)
+            }
+            Stmt::Set { oid, attr, value } => {
+                self.db.set_attr(Oid(oid), &attr, value.to_value())?;
+                Outcome::Ok
+            }
+            Stmt::SetCAttr { class, attr, value } => {
+                self.db.set_c_attr(&class, &attr, value.to_value())?;
+                Outcome::Ok
+            }
+            Stmt::Migrate { oid, to, init } => {
+                let init = init
+                    .into_iter()
+                    .map(|(n, l)| (n, l.to_value()))
+                    .collect();
+                self.db.migrate(Oid(oid), &to, init)?;
+                Outcome::Ok
+            }
+            Stmt::Terminate { oid } => {
+                self.db.terminate_object(Oid(oid))?;
+                Outcome::Ok
+            }
+            Stmt::Tick(n) => Outcome::Time(self.db.tick_by(n)),
+            Stmt::AdvanceTo(t) => Outcome::Time(self.db.advance_to(Instant(t))?),
+            Stmt::Select(q) => {
+                check_select(self.db.schema(), &q)?;
+                Outcome::Table(eval_select(&self.db, &q)?)
+            }
+            Stmt::ShowClass(c) => {
+                let class = self.db.class(&c)?;
+                let mut s = format!(
+                    "class {} ({:?}), lifespan {}\n",
+                    class.id, class.kind, class.lifespan
+                );
+                if !class.superclasses.is_empty() {
+                    let sups: Vec<&str> =
+                        class.superclasses.iter().map(|c| c.as_str()).collect();
+                    s.push_str(&format!("  under: {}\n", sups.join(", ")));
+                }
+                for (n, d) in &class.all_attrs {
+                    let own = if class.own_attrs.contains_key(n) { "" } else { " (inherited)" };
+                    let imm = if d.immutable { " immutable" } else { "" };
+                    s.push_str(&format!("  {n}: {}{imm}{own}\n", d.ty));
+                }
+                for (n, m) in &class.all_methods {
+                    let ins: Vec<String> = m.inputs.iter().map(|t| t.to_string()).collect();
+                    s.push_str(&format!("  method {n}({}): {}\n", ins.join(","), m.output));
+                }
+                for (n, d) in &class.c_attrs {
+                    s.push_str(&format!("  c-attribute {n}: {}\n", d.ty));
+                }
+                for (n, m) in &class.c_methods {
+                    let ins: Vec<String> = m.inputs.iter().map(|t| t.to_string()).collect();
+                    s.push_str(&format!("  c-operation {n}({}): {}\n", ins.join(","), m.output));
+                }
+                Outcome::ClassInfo(s)
+            }
+            Stmt::CheckConsistency => Outcome::Consistency(self.db.check_database()),
+            Stmt::CheckInvariants => Outcome::Invariants(self.db.check_invariants()),
+            Stmt::Compare { a, b } => {
+                Outcome::Equality(self.db.strongest_equality(Oid(a), Oid(b))?)
+            }
+            Stmt::CheckConstraint(spec) => {
+                let constraint = match spec {
+                    ConstraintSpec::Covered(class, attr) => Constraint::Covered { class, attr },
+                    ConstraintSpec::NonDecreasing(class, attr) => {
+                        Constraint::NonDecreasing { class, attr }
+                    }
+                    ConstraintSpec::Constant(class, attr) => {
+                        Constraint::ConstantHistory { class, attr }
+                    }
+                    ConstraintSpec::NeverNull(class, attr) => {
+                        Constraint::NeverNull { class, attr }
+                    }
+                    ConstraintSpec::Range {
+                        class,
+                        attr,
+                        min,
+                        max,
+                        always,
+                    } => Constraint::InRange {
+                        class,
+                        attr,
+                        min: min.to_value(),
+                        max: max.to_value(),
+                        quantifier: if always {
+                            Quantifier::Always
+                        } else {
+                            Quantifier::Sometime
+                        },
+                    },
+                };
+                Outcome::Constraint(self.db.check_constraint(&constraint))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchimera_core::Value;
+
+    #[test]
+    fn end_to_end_script() {
+        let mut interp = Interpreter::new();
+        let outcomes = interp
+            .run_script(
+                "define class person (name: temporal(string) immutable, address: string); \
+                 define class employee under person (salary: temporal(integer)); \
+                 advance to 10; \
+                 create employee (name := 'Bob', address := 'Milano', salary := 100); \
+                 tick 10; \
+                 set #0.salary := 150; \
+                 select e, e.salary from employee e where e.salary > 120; \
+                 check consistency; \
+                 check invariants",
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 9);
+        assert!(matches!(outcomes[3], Outcome::Created(Oid(0))));
+        match &outcomes[6] {
+            Outcome::Table(t) => {
+                assert_eq!(t.len(), 1);
+                assert_eq!(t.rows[0][1], Value::Int(150));
+            }
+            other => panic!("expected table, got {other}"),
+        }
+        assert!(matches!(&outcomes[7], Outcome::Consistency(r) if r.is_consistent()));
+        assert!(matches!(&outcomes[8], Outcome::Invariants(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn migration_via_tcql() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class person (); \
+                 define class employee under person (salary: temporal(integer)); \
+                 define class manager under employee (officialcar: string); \
+                 advance to 10; \
+                 create employee (salary := 100); \
+                 tick 10; \
+                 migrate #0 to manager (officialcar := 'Alfa 164')",
+            )
+            .unwrap();
+        let out = interp.run("select e, class of e from person e").unwrap();
+        match out {
+            Outcome::Table(t) => {
+                assert_eq!(t.len(), 1);
+                assert_eq!(t.rows[0][1], Value::str("manager"));
+            }
+            other => panic!("expected table, got {other}"),
+        }
+        // Time travel sees the pre-migration class.
+        let out = interp
+            .run("select class of e from person e as of 15")
+            .unwrap();
+        match out {
+            Outcome::Table(t) => assert_eq!(t.rows[0][0], Value::str("employee")),
+            other => panic!("expected table, got {other}"),
+        }
+    }
+
+    #[test]
+    fn type_errors_caught_before_execution() {
+        let mut interp = Interpreter::new();
+        interp
+            .run("define class c (x: temporal(integer), y: string)")
+            .unwrap();
+        let err = interp.run("select z.x from c z where z.x = 'nope'").unwrap_err();
+        assert!(matches!(err, QueryError::Type(_)));
+        let err = interp.run("select history of z.y from c z").unwrap_err();
+        assert!(matches!(err, QueryError::Type(TypeError::NotTemporal { .. })));
+    }
+
+    #[test]
+    fn model_errors_surface() {
+        let mut interp = Interpreter::new();
+        interp.run("define class c (x: integer)").unwrap();
+        let err = interp.run("create c (x := 'wrong')").unwrap_err();
+        assert!(matches!(err, QueryError::Model(ModelError::TypeMismatch { .. })));
+        let err = interp.run("set #99.x := 1").unwrap_err();
+        assert!(matches!(err, QueryError::Model(ModelError::UnknownObject(_))));
+        let err = interp.run("terminate #99").unwrap_err();
+        assert!(err.to_string().contains("i99"));
+    }
+
+    #[test]
+    fn show_class_describes() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class person (name: string); \
+                 define class employee under person (salary: temporal(integer)) \
+                   c-attributes (headcount: temporal(integer)) \
+                   methods (raise(integer): employee)",
+            )
+            .unwrap();
+        let out = interp.run("show class employee").unwrap();
+        match out {
+            Outcome::ClassInfo(s) => {
+                assert!(s.contains("under: person"));
+                assert!(s.contains("salary: temporal(integer)"));
+                assert!(s.contains("name: string (inherited)"));
+                assert!(s.contains("method raise(integer): employee"));
+                assert!(s.contains("c-attribute headcount"));
+            }
+            other => panic!("expected class info, got {other}"),
+        }
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Ok.to_string(), "ok");
+        assert_eq!(Outcome::Created(Oid(3)).to_string(), "created i3");
+        assert_eq!(Outcome::Time(Instant(9)).to_string(), "now = 9");
+        assert_eq!(
+            Outcome::Consistency(ConsistencyReport::default()).to_string(),
+            "consistent"
+        );
+        assert_eq!(Outcome::Invariants(vec![]).to_string(), "all invariants hold");
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class employee (salary: temporal(integer)); \
+                 advance to 10; \
+                 create employee (salary := 100); \
+                 create employee (salary := 200); \
+                 create employee (salary := 300); \
+                 advance to 20; \
+                 terminate #0",
+            )
+            .unwrap();
+        let count = |interp: &mut Interpreter, q: &str| match interp.run(q).unwrap() {
+            Outcome::Table(t) => t.rows[0][0].clone(),
+            other => panic!("expected table, got {other}"),
+        };
+        interp.run("tick").unwrap();
+        assert_eq!(
+            count(&mut interp, "select count(e) from employee e"),
+            Value::Int(2)
+        );
+        assert_eq!(
+            count(&mut interp, "select count(e) from employee e as of 15"),
+            Value::Int(3)
+        );
+        assert_eq!(
+            count(
+                &mut interp,
+                "select count(e) from employee e where e.salary >= 200"
+            ),
+            Value::Int(2)
+        );
+        assert_eq!(
+            count(&mut interp, "select count(e) from employee e where e.salary > 999"),
+            Value::Int(0)
+        );
+        // Count mixed with other projections is a static error.
+        let err = interp
+            .run("select count(e), e.salary from employee e")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Type(TypeError::CountNotAlone)));
+    }
+
+    #[test]
+    fn compare_statement() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class player (score: temporal(integer)); \
+                 create player (score := 5); \
+                 create player (score := 5); \
+                 create player (score := 9); \
+                 tick 3",
+            )
+            .unwrap();
+        match interp.run("compare #0 #0").unwrap() {
+            Outcome::Equality(Some(Equality::Identity)) => {}
+            other => panic!("expected identity, got {other}"),
+        }
+        match interp.run("compare #0 #1").unwrap() {
+            Outcome::Equality(Some(Equality::Value)) => {}
+            other => panic!("expected value equality, got {other}"),
+        }
+        match interp.run("compare #0 #2").unwrap() {
+            Outcome::Equality(None) => {}
+            other => panic!("expected no equality, got {other}"),
+        }
+        assert!(Outcome::Equality(Some(Equality::Weak))
+            .to_string()
+            .contains("Weak"));
+        assert!(Outcome::Equality(None).to_string().contains("not equal"));
+    }
+
+    #[test]
+    fn check_constraint_statements() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class employee (salary: temporal(integer)); \
+                 advance to 10; \
+                 create employee (salary := 100); \
+                 advance to 20; \
+                 set #0.salary := 90",
+            )
+            .unwrap();
+        match interp
+            .run("check constraint non-decreasing employee.salary")
+            .unwrap()
+        {
+            Outcome::Constraint(v) => {
+                assert_eq!(v.len(), 1);
+                assert_eq!(v[0].oid, Oid(0));
+            }
+            other => panic!("expected constraint report, got {other}"),
+        }
+        match interp.run("check constraint covered employee.salary").unwrap() {
+            Outcome::Constraint(v) => assert!(v.is_empty()),
+            other => panic!("expected constraint report, got {other}"),
+        }
+        match interp
+            .run("check constraint range employee.salary [50, 200] always")
+            .unwrap()
+        {
+            Outcome::Constraint(v) => assert!(v.is_empty()),
+            other => panic!("expected constraint report, got {other}"),
+        }
+        match interp
+            .run("check constraint range employee.salary [95, 200] sometime")
+            .unwrap()
+        {
+            Outcome::Constraint(v) => assert!(v.is_empty()), // 100 was in range
+            other => panic!("expected constraint report, got {other}"),
+        }
+        match interp
+            .run("check constraint constant employee.salary")
+            .unwrap()
+        {
+            Outcome::Constraint(v) => assert_eq!(v.len(), 1),
+            other => panic!("expected constraint report, got {other}"),
+        }
+        assert!(interp
+            .run("check constraint bogus employee.salary")
+            .is_err());
+        let shown = interp
+            .run("check constraint never-null employee.salary")
+            .unwrap()
+            .to_string();
+        assert!(shown.contains("satisfied"));
+    }
+
+    #[test]
+    fn set_c_attr_via_tcql() {
+        let mut interp = Interpreter::new();
+        interp
+            .run("define class project () c-attributes (average-participants: integer)")
+            .unwrap();
+        interp
+            .run("set class attribute project.average-participants := 20")
+            .unwrap();
+        assert_eq!(
+            interp
+                .db()
+                .c_attr(&"project".into(), &"average-participants".into())
+                .unwrap(),
+            &Value::Int(20)
+        );
+    }
+}

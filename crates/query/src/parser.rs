@@ -1,0 +1,976 @@
+//! The TCQL recursive-descent parser.
+
+use std::fmt;
+
+use tchimera_core::{AttrDecl, ClassDef, ClassId, MethodSig, Type};
+
+use crate::ast::{CmpOp, ConstraintSpec, Expr, Literal, Projection, Select, Stmt, TimeSpec};
+use crate::token::{lex, LexError, Token, TokenKind};
+
+/// A parse error with source offset.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a single TCQL statement.
+pub fn parse(src: &str) -> Result<Stmt, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    // Allow an optional trailing semicolon.
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements (empty segments skipped).
+pub fn parse_script(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.at_eof() && !p.eat(&TokenKind::Semicolon) {
+            return Err(p.err("expected `;` between statements"));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.peek().offset,
+            message: format!("{} (found {})", msg.into(), self.peek().kind),
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err("expected end of statement"))
+        }
+    }
+
+    /// Peek a keyword (case-insensitive identifier match).
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn u64_lit(&mut self) -> Result<u64, ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(v) if v >= 0 => {
+                self.bump();
+                Ok(v as u64)
+            }
+            _ => Err(self.err("expected a non-negative integer")),
+        }
+    }
+
+    fn oid_lit(&mut self) -> Result<u64, ParseError> {
+        match self.peek().kind {
+            TokenKind::OidLit(v) => {
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(self.err("expected an oid literal `#n`")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("define") {
+            self.expect_kw("class")?;
+            return self.define_class();
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("class")?;
+            return Ok(Stmt::DropClass(ClassId::from(self.ident()?)));
+        }
+        if self.eat_kw("create") {
+            let class = ClassId::from(self.ident()?);
+            let init = if self.at(&TokenKind::LParen) {
+                self.bindings()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::Create { class, init });
+        }
+        if self.eat_kw("set") {
+            if self.eat_kw("class") {
+                self.expect_kw("attribute")?;
+                let class = ClassId::from(self.ident()?);
+                self.expect(&TokenKind::Dot)?;
+                let attr = self.ident()?.into();
+                self.expect(&TokenKind::Assign)?;
+                let value = self.literal()?;
+                return Ok(Stmt::SetCAttr { class, attr, value });
+            }
+            let oid = self.oid_lit()?;
+            self.expect(&TokenKind::Dot)?;
+            let attr = self.ident()?.into();
+            self.expect(&TokenKind::Assign)?;
+            let value = self.literal()?;
+            return Ok(Stmt::Set { oid, attr, value });
+        }
+        if self.eat_kw("migrate") {
+            let oid = self.oid_lit()?;
+            self.expect_kw("to")?;
+            let to = ClassId::from(self.ident()?);
+            let init = if self.at(&TokenKind::LParen) {
+                self.bindings()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::Migrate { oid, to, init });
+        }
+        if self.eat_kw("terminate") {
+            let oid = self.oid_lit()?;
+            return Ok(Stmt::Terminate { oid });
+        }
+        if self.eat_kw("tick") {
+            let n = if matches!(self.peek().kind, TokenKind::Int(_)) {
+                self.u64_lit()?
+            } else {
+                1
+            };
+            return Ok(Stmt::Tick(n));
+        }
+        if self.eat_kw("advance") {
+            self.expect_kw("to")?;
+            return Ok(Stmt::AdvanceTo(self.u64_lit()?));
+        }
+        if self.eat_kw("select") {
+            return self.select();
+        }
+        if self.eat_kw("show") {
+            self.expect_kw("class")?;
+            return Ok(Stmt::ShowClass(ClassId::from(self.ident()?)));
+        }
+        if self.eat_kw("check") {
+            if self.eat_kw("consistency") {
+                return Ok(Stmt::CheckConsistency);
+            }
+            if self.eat_kw("invariants") {
+                return Ok(Stmt::CheckInvariants);
+            }
+            if self.eat_kw("constraint") {
+                return self.constraint_spec().map(Stmt::CheckConstraint);
+            }
+            return Err(self.err("expected `consistency`, `invariants` or `constraint`"));
+        }
+        if self.eat_kw("compare") {
+            let a = self.oid_lit()?;
+            let b = self.oid_lit()?;
+            return Ok(Stmt::Compare { a, b });
+        }
+        Err(self.err("expected a statement"))
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn constraint_spec(&mut self) -> Result<ConstraintSpec, ParseError> {
+        let kind = self.ident()?.to_ascii_lowercase();
+        let class = ClassId::from(self.ident()?);
+        self.expect(&TokenKind::Dot)?;
+        let attr: tchimera_core::AttrName = self.ident()?.into();
+        Ok(match kind.as_str() {
+            "covered" => ConstraintSpec::Covered(class, attr),
+            "non-decreasing" => ConstraintSpec::NonDecreasing(class, attr),
+            "constant" => ConstraintSpec::Constant(class, attr),
+            "never-null" => ConstraintSpec::NeverNull(class, attr),
+            "range" => {
+                self.expect(&TokenKind::LBracket)?;
+                let min = self.literal()?;
+                self.expect(&TokenKind::Comma)?;
+                let max = self.literal()?;
+                self.expect(&TokenKind::RBracket)?;
+                let always = if self.eat_kw("always") {
+                    true
+                } else if self.eat_kw("sometime") {
+                    false
+                } else {
+                    return Err(self.err("expected `always` or `sometime`"));
+                };
+                ConstraintSpec::Range {
+                    class,
+                    attr,
+                    min,
+                    max,
+                    always,
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "unknown constraint kind `{other}` (expected covered, non-decreasing, constant, never-null or range)"
+                )))
+            }
+        })
+    }
+
+    fn define_class(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.ident()?;
+        let mut def = ClassDef::new(name);
+        if self.eat_kw("under") {
+            loop {
+                def.superclasses.push(ClassId::from(self.ident()?));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::LParen)?;
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let attr = self.attr_decl()?;
+                def.attrs.push(attr);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if self.eat_kw("c-attributes") {
+            self.expect(&TokenKind::LParen)?;
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    def.c_attrs.push(self.attr_decl()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        if self.eat_kw("methods") {
+            def.methods = self.method_sigs()?;
+        }
+        if self.eat_kw("c-operations") {
+            def.c_methods = self.method_sigs()?;
+        }
+        Ok(Stmt::DefineClass(def))
+    }
+
+    fn method_sigs(
+        &mut self,
+    ) -> Result<Vec<(tchimera_core::MethodName, MethodSig)>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut out = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let mname = self.ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut inputs = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        inputs.push(self.type_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Colon)?;
+                let output = self.type_expr()?;
+                out.push((mname.into(), MethodSig { inputs, output }));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(out)
+    }
+
+    fn attr_decl(&mut self) -> Result<AttrDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        let immutable = self.eat_kw("immutable");
+        Ok(AttrDecl {
+            name: name.into(),
+            ty,
+            immutable,
+        })
+    }
+
+    /// A type expression in the paper's concrete syntax.
+    fn type_expr(&mut self) -> Result<Type, ParseError> {
+        let head = self.ident()?;
+        let lower = head.to_ascii_lowercase();
+        Ok(match lower.as_str() {
+            "integer" => Type::INTEGER,
+            "real" => Type::REAL,
+            "bool" | "boolean" => Type::BOOL,
+            "character" | "char" => Type::CHARACTER,
+            "string" => Type::STRING,
+            "time" => Type::Time,
+            "set-of" => {
+                self.expect(&TokenKind::LParen)?;
+                let inner = self.type_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Type::set_of(inner)
+            }
+            "list-of" => {
+                self.expect(&TokenKind::LParen)?;
+                let inner = self.type_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Type::list_of(inner)
+            }
+            "record-of" => {
+                self.expect(&TokenKind::LParen)?;
+                let mut fields = Vec::new();
+                loop {
+                    let n = self.ident()?;
+                    self.expect(&TokenKind::Colon)?;
+                    let t = self.type_expr()?;
+                    if fields.iter().any(|(m, _): &(String, Type)| *m == n) {
+                        return Err(self.err(format!("duplicate record field `{n}`")));
+                    }
+                    fields.push((n, t));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                Type::record_of(fields)
+            }
+            "temporal" => {
+                self.expect(&TokenKind::LParen)?;
+                let inner = self.type_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Type::temporal(inner)
+            }
+            _ => Type::object(head),
+        })
+    }
+
+    fn bindings(&mut self) -> Result<Vec<(tchimera_core::AttrName, Literal)>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut out = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let name = self.ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let lit = self.literal()?;
+                out.push((name.into(), lit));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Literal::Int(v))
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(Literal::Real(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::OidLit(v) => {
+                self.bump();
+                Ok(Literal::Oid(v))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("null") => {
+                self.bump();
+                Ok(Literal::Null)
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.bump();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.bump();
+                Ok(Literal::Bool(false))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut xs = Vec::new();
+                if !self.at(&TokenKind::RBrace) {
+                    loop {
+                        xs.push(self.literal()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Literal::Set(xs))
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut xs = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    loop {
+                        xs.push(self.literal()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Literal::List(xs))
+            }
+            _ => Err(self.err("expected a literal")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn select(&mut self) -> Result<Stmt, ParseError> {
+        // Projections are parsed name-agnostically first; the range
+        // variables are validated after FROM.
+        let mut raw: Vec<(Option<String>, Projection)> = Vec::new();
+        loop {
+            raw.push(self.projection()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut vars: Vec<(ClassId, String)> = Vec::new();
+        loop {
+            let class = ClassId::from(self.ident()?);
+            let var = self.ident()?;
+            if vars.iter().any(|(_, v)| *v == var) {
+                return Err(self.err(format!("duplicate range variable `{var}`")));
+            }
+            vars.push((class, var));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let var_names: Vec<String> = vars.iter().map(|(_, v)| v.clone()).collect();
+        // Validate projections against the declared variables.
+        let mut projections = Vec::new();
+        for (v, p) in raw {
+            let v = v.expect("projections always name a variable");
+            if !var_names.contains(&v) {
+                return Err(ParseError {
+                    offset: 0,
+                    message: format!(
+                        "unknown variable `{v}` (range variables: {})",
+                        var_names.join(", ")
+                    ),
+                });
+            }
+            projections.push((v, p));
+        }
+        let time = if self.eat_kw("as") {
+            self.expect_kw("of")?;
+            TimeSpec::AsOf(self.u64_lit()?)
+        } else if self.eat_kw("during") {
+            self.expect(&TokenKind::LBracket)?;
+            let a = self.u64_lit()?;
+            self.expect(&TokenKind::Comma)?;
+            let b = self.u64_lit()?;
+            self.expect(&TokenKind::RBracket)?;
+            TimeSpec::During(a, b)
+        } else {
+            TimeSpec::Now
+        };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr(&var_names)?)
+        } else {
+            None
+        };
+        let order = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let v = self.ident()?;
+            if !var_names.contains(&v) {
+                return Err(self.err(format!("unknown variable `{v}` in ORDER BY")));
+            }
+            self.expect(&TokenKind::Dot)?;
+            let attr = self.ident()?.into();
+            let desc = if self.eat_kw("desc") {
+                true
+            } else {
+                self.eat_kw("asc");
+                false
+            };
+            Some(crate::ast::OrderBy { var: v, attr, desc })
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            Some(self.u64_lit()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Select(Select {
+            projections,
+            vars,
+            time,
+            filter,
+            order,
+            limit,
+        }))
+    }
+
+    fn projection(&mut self) -> Result<(Option<String>, Projection), ParseError> {
+        if self.at_kw("count") {
+            // Lookahead: `count(` is the aggregate; a bare `count` can be
+            // a variable name.
+            let save = self.pos;
+            self.bump();
+            if self.eat(&TokenKind::LParen) {
+                let v = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok((Some(v), Projection::Count));
+            }
+            self.pos = save;
+        }
+        if self.eat_kw("history") {
+            self.expect_kw("of")?;
+            let v = self.ident()?;
+            self.expect(&TokenKind::Dot)?;
+            let a = self.ident()?;
+            return Ok((Some(v), Projection::HistoryOf(a.into())));
+        }
+        if self.eat_kw("snapshot") {
+            self.expect_kw("of")?;
+            let v = self.ident()?;
+            return Ok((Some(v), Projection::SnapshotOf));
+        }
+        if self.eat_kw("class") {
+            self.expect_kw("of")?;
+            let v = self.ident()?;
+            return Ok((Some(v), Projection::ClassOf));
+        }
+        if self.eat_kw("lifespan") {
+            self.expect_kw("of")?;
+            let v = self.ident()?;
+            return Ok((Some(v), Projection::LifespanOf));
+        }
+        let v = self.ident()?;
+        if self.eat(&TokenKind::Dot) {
+            let a = self.ident()?;
+            Ok((Some(v), Projection::Attr(a.into())))
+        } else {
+            Ok((Some(v), Projection::Var))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence: OR < AND < NOT < comparison < primary)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
+        self.or_expr(vars)
+    }
+
+    fn or_expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr(vars)?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr(vars)?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr(vars)?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr(vars)?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr(vars)?)))
+        } else {
+            self.cmp_expr(vars)
+        }
+    }
+
+    fn cmp_expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
+        let lhs = self.primary(vars)?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Neq => Some(CmpOp::Neq),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.primary(vars)?;
+            Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn primary(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            let e = self.expr(vars)?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(e);
+        }
+        if self.eat_kw("defined") {
+            self.expect(&TokenKind::LParen)?;
+            let e = self.expr(vars)?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Defined(Box::new(e)));
+        }
+        if self.eat_kw("always") {
+            self.expect(&TokenKind::LParen)?;
+            let e = self.expr(vars)?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Always(Box::new(e)));
+        }
+        if self.eat_kw("sometime") {
+            self.expect(&TokenKind::LParen)?;
+            let e = self.expr(vars)?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Sometime(Box::new(e)));
+        }
+        // Variable path or literal.
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            let s = s.clone();
+            if vars.contains(&s) {
+                self.bump();
+                if self.eat(&TokenKind::Dot) {
+                    let a = self.ident()?;
+                    if self.eat_kw("at") {
+                        let t = self.u64_lit()?;
+                        return Ok(Expr::AttrAt(s, a.into(), t));
+                    }
+                    return Ok(Expr::Attr(s, a.into()));
+                }
+                if self.eat_kw("in") {
+                    let c = self.ident()?;
+                    return Ok(Expr::IsMember(s, ClassId::from(c)));
+                }
+                // A bare variable: the bound object's oid (join idiom).
+                return Ok(Expr::Var(s));
+            }
+        }
+        Ok(Expr::Lit(self.literal()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_define_class() {
+        let s = parse(
+            "define class project under base ( \
+               name: temporal(string) immutable, \
+               objective: string, \
+               workplan: set-of(task), \
+               participants: temporal(set-of(person)) ) \
+             c-attributes ( average-participants: integer ) \
+             methods ( add-participant(person): project )",
+        )
+        .unwrap();
+        match s {
+            Stmt::DefineClass(def) => {
+                assert_eq!(def.name, ClassId::from("project"));
+                assert_eq!(def.superclasses, vec![ClassId::from("base")]);
+                assert_eq!(def.attrs.len(), 4);
+                assert!(def.attrs[0].immutable);
+                assert_eq!(def.attrs[0].ty, Type::temporal(Type::STRING));
+                assert_eq!(
+                    def.attrs[3].ty,
+                    Type::temporal(Type::set_of(Type::object("person")))
+                );
+                assert_eq!(def.c_attrs.len(), 1);
+                assert_eq!(def.methods.len(), 1);
+                assert_eq!(def.methods[0].1.output, Type::object("project"));
+            }
+            other => panic!("wrong stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_c_operations() {
+        let s = parse(
+            "define class project () \
+             c-attributes (average-participants: integer) \
+             c-operations (recompute-average(): integer, reset(integer): bool)",
+        )
+        .unwrap();
+        match s {
+            Stmt::DefineClass(def) => {
+                assert_eq!(def.c_methods.len(), 2);
+                assert_eq!(def.c_methods[0].1.output, Type::INTEGER);
+                assert!(def.c_methods[0].1.inputs.is_empty());
+                assert_eq!(def.c_methods[1].1.inputs, vec![Type::INTEGER]);
+            }
+            other => panic!("wrong stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_record_type() {
+        let s = parse("define class c ( r: record-of(a: integer, b: real) )").unwrap();
+        match s {
+            Stmt::DefineClass(def) => {
+                assert_eq!(
+                    def.attrs[0].ty,
+                    Type::record_of([("a", Type::INTEGER), ("b", Type::REAL)])
+                );
+            }
+            _ => unreachable!(),
+        }
+        assert!(parse("define class c ( r: record-of(a: integer, a: real) )").is_err());
+    }
+
+    #[test]
+    fn parse_dml() {
+        match parse("create employee (salary := 100, name := 'Bob')").unwrap() {
+            Stmt::Create { class, init } => {
+                assert_eq!(class, ClassId::from("employee"));
+                assert_eq!(init.len(), 2);
+                assert_eq!(init[0].1, Literal::Int(100));
+            }
+            _ => unreachable!(),
+        }
+        match parse("set #3.salary := 150").unwrap() {
+            Stmt::Set { oid, attr, value } => {
+                assert_eq!(oid, 3);
+                assert_eq!(attr, "salary".into());
+                assert_eq!(value, Literal::Int(150));
+            }
+            _ => unreachable!(),
+        }
+        match parse("migrate #3 to manager (officialcar := 'Alfa')").unwrap() {
+            Stmt::Migrate { oid, to, init } => {
+                assert_eq!(oid, 3);
+                assert_eq!(to, ClassId::from("manager"));
+                assert_eq!(init.len(), 1);
+            }
+            _ => unreachable!(),
+        }
+        assert!(matches!(parse("terminate #5").unwrap(), Stmt::Terminate { oid: 5 }));
+        assert!(matches!(parse("tick").unwrap(), Stmt::Tick(1)));
+        assert!(matches!(parse("tick 10").unwrap(), Stmt::Tick(10)));
+        assert!(matches!(parse("advance to 99").unwrap(), Stmt::AdvanceTo(99)));
+        match parse("set class attribute project.average-participants := 20").unwrap() {
+            Stmt::SetCAttr { class, attr, value } => {
+                assert_eq!(class, ClassId::from("project"));
+                assert_eq!(attr, "average-participants".into());
+                assert_eq!(value, Literal::Int(20));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_select_variants() {
+        match parse("select p, p.salary from employee p where p.salary >= 100").unwrap() {
+            Stmt::Select(s) => {
+                assert_eq!(s.projections, vec![
+                    ("p".to_owned(), Projection::Var),
+                    ("p".to_owned(), Projection::Attr("salary".into()))
+                ]);
+                assert_eq!(s.vars, vec![(ClassId::from("employee"), "p".to_owned())]);
+                assert_eq!(s.time, TimeSpec::Now);
+                assert!(matches!(s.filter, Some(Expr::Cmp(CmpOp::Ge, _, _))));
+            }
+            _ => unreachable!(),
+        }
+        match parse("select snapshot of p from employee p as of 42").unwrap() {
+            Stmt::Select(s) => {
+                assert_eq!(s.projections, vec![("p".to_owned(), Projection::SnapshotOf)]);
+                assert_eq!(s.time, TimeSpec::AsOf(42));
+            }
+            _ => unreachable!(),
+        }
+        match parse("select history of p.salary, class of p, lifespan of p from employee p during [10, 50]").unwrap() {
+            Stmt::Select(s) => {
+                assert_eq!(s.projections.len(), 3);
+                assert_eq!(s.time, TimeSpec::During(10, 50));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_expressions() {
+        let q = "select p from employee p where \
+                 not (p.salary at 10 = 100) and defined(p.boss) \
+                 or sometime(p.salary > 50) and always(p.salary <> null) \
+                 and p in manager";
+        match parse(q).unwrap() {
+            Stmt::Select(s) => {
+                let f = s.filter.unwrap();
+                // or at the top.
+                assert!(matches!(f, Expr::Or(_, _)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_literals() {
+        match parse("create c (xs := {1, 2, 2}, ys := [1.5, 'a'], z := null, b := true)").unwrap()
+        {
+            Stmt::Create { init, .. } => {
+                assert_eq!(init[0].1, Literal::Set(vec![
+                    Literal::Int(1),
+                    Literal::Int(2),
+                    Literal::Int(2)
+                ]));
+                assert_eq!(
+                    init[1].1,
+                    Literal::List(vec![Literal::Real(1.5), Literal::Str("a".into())])
+                );
+                assert_eq!(init[2].1, Literal::Null);
+                assert_eq!(init[3].1, Literal::Bool(true));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_script_splits_statements() {
+        let stmts = parse_script(
+            "define class c (x: integer); tick 5; create c (x := 1);; select p from c p;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        let e = parse("select p from").unwrap_err();
+        assert!(e.to_string().contains("identifier"));
+        let e = parse("bogus stuff").unwrap_err();
+        assert!(e.to_string().contains("statement"));
+        let e = parse("select q.x from employee p").unwrap_err();
+        assert!(e.to_string().contains("unknown variable"));
+        assert!(parse("create c (x := )").is_err());
+        assert!(parse("check nothing").is_err());
+        // Unknown variable inside WHERE.
+        assert!(parse("select p from employee p where q.x = 1").is_err());
+    }
+
+    #[test]
+    fn misc_statements() {
+        assert!(matches!(parse("show class employee").unwrap(), Stmt::ShowClass(_)));
+        assert!(matches!(parse("check consistency").unwrap(), Stmt::CheckConsistency));
+        assert!(matches!(parse("check invariants").unwrap(), Stmt::CheckInvariants));
+        assert!(matches!(parse("drop class c").unwrap(), Stmt::DropClass(_)));
+        assert!(matches!(
+            parse("create c").unwrap(),
+            Stmt::Create { init, .. } if init.is_empty()
+        ));
+    }
+}

@@ -1,0 +1,428 @@
+//! The TCQL lexer.
+
+use std::fmt;
+
+/// A lexical token with its source offset.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source (for diagnostics).
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively by the parser
+/// from `Ident` tokens, so class/attribute names may shadow nothing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (normalized to the original spelling).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (single quotes, `''` escapes a quote).
+    Str(String),
+    /// Oid literal `#n`.
+    OidLit(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::OidLit(v) => write!(f, "#{v}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Assign => write!(f, ":="),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Neq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a TCQL source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, offset: start });
+                i += 1;
+            }
+            '{' => {
+                out.push(Token { kind: TokenKind::LBrace, offset: start });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { kind: TokenKind::RBrace, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semicolon, offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Assign, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Colon, offset: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token { kind: TokenKind::Neq, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '#' => {
+                i += 1;
+                let ds = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if ds == i {
+                    return Err(LexError {
+                        offset: start,
+                        message: "expected digits after `#`".into(),
+                    });
+                }
+                let v: u64 = src[ds..i].parse().map_err(|_| LexError {
+                    offset: start,
+                    message: "oid literal out of range".into(),
+                })?;
+                out.push(Token { kind: TokenKind::OidLit(v), offset: start });
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Advance over a full UTF-8 scalar.
+                        let ch = src[i..].chars().next().unwrap();
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '-' | '0'..='9' => {
+                let neg = c == '-';
+                if neg {
+                    i += 1;
+                    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "expected digits after `-`".into(),
+                        });
+                    }
+                }
+                let ds = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_real = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_real = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[ds..i];
+                if is_real {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        offset: start,
+                        message: "bad real literal".into(),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::Real(if neg { -v } else { v }),
+                        offset: start,
+                    });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        offset: start,
+                        message: "integer literal out of range".into(),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::Int(if neg { -v } else { v }),
+                        offset: start,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // `c` is the raw *byte* at `i`; for multibyte UTF-8 the
+                // real scalar may be a non-identifier character whose
+                // lead byte happens to look alphabetic in Latin-1 (e.g.
+                // `╬` leads with 0xE2 = 'â'). Re-check the real char so
+                // the scan below always advances.
+                let real = src[i..].chars().next().expect("i at char boundary");
+                if !(real.is_alphabetic() || real == '_') {
+                    return Err(LexError {
+                        offset: start,
+                        message: format!("unexpected character `{real}`"),
+                    });
+                }
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap();
+                    // `-` is an identifier character when followed by a
+                    // letter (Chimera names like `set-of`,
+                    // `average-participants`).
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else if ch == '-'
+                        && src[j + 1..].chars().next().is_some_and(|n| n.is_alphabetic())
+                    {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_owned()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("( ) [ ] { } , ; : . := = <> < <= > >="),
+            vec![
+                LParen, RParen, LBracket, RBracket, LBrace, RBrace, Comma, Semicolon, Colon,
+                Dot, Assign, Eq, Neq, Lt, Le, Gt, Ge, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 -7 3.5 -0.25 'it''s' #9"),
+            vec![
+                Int(42),
+                Int(-7),
+                Real(3.5),
+                Real(-0.25),
+                Str("it's".into()),
+                OidLit(9),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_with_hyphens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("set-of average-participants x"),
+            vec![
+                Ident("set-of".into()),
+                Ident("average-participants".into()),
+                Ident("x".into()),
+                Eof
+            ]
+        );
+        // A bare `-` not followed by a digit is an error (TCQL has no
+        // arithmetic).
+        assert!(lex("x - y").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("select -- a comment\n x"),
+            vec![Ident("select".into()), Ident("x".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'open").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn multibyte_non_identifier_chars_error_not_hang() {
+        // `╬` (U+256C): lead byte 0xE2 reads as the Latin-1 letter 'â';
+        // the lexer must reject the real char, not loop forever.
+        assert!(lex("╬").is_err());
+        assert!(lex("䧗謎╬䄆").is_err());
+        // Real multibyte letters lex as identifiers.
+        let ts = lex("müller 結果").unwrap();
+        assert_eq!(ts.len(), 3); // two idents + EOF
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = lex("ab cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 3);
+    }
+}

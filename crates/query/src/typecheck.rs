@@ -1,0 +1,519 @@
+//! Static type checking of TCQL queries against the schema.
+//!
+//! The paper lists "issues related to the query language and its typing"
+//! as future work (Section 7); this checker applies the paper's machinery
+//! — attribute domains, `T⁻`, subtyping and lubs (Definitions 3.6/6.1) —
+//! to reject ill-typed queries before execution.
+
+use std::fmt;
+
+use tchimera_core::{AttrName, ClassId, Schema, Type};
+
+use crate::ast::{CmpOp, Expr, Literal, Projection, Select, TimeSpec};
+
+/// A static type error in a query.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TypeError {
+    /// The ranged class does not exist.
+    UnknownClass(ClassId),
+    /// The class does not declare the attribute.
+    UnknownAttribute {
+        /// Ranged class.
+        class: ClassId,
+        /// Missing attribute.
+        attr: AttrName,
+    },
+    /// `HISTORY OF` / `AT` applied to a non-temporal attribute.
+    NotTemporal {
+        /// The attribute.
+        attr: AttrName,
+    },
+    /// `SNAPSHOT OF` in the past on a class with static attributes —
+    /// undefined by Section 5.3.
+    SnapshotUndefinedInPast {
+        /// The ranged class.
+        class: ClassId,
+    },
+    /// Comparison between incompatible types.
+    Incomparable {
+        /// Left-hand type rendering.
+        left: String,
+        /// Right-hand type rendering.
+        right: String,
+    },
+    /// Ordering comparison on an unordered type.
+    Unordered {
+        /// The offending type rendering.
+        ty: String,
+    },
+    /// A boolean connective applied to a non-boolean operand.
+    NotBoolean {
+        /// The offending type rendering.
+        ty: String,
+    },
+    /// The filter itself is not boolean.
+    FilterNotBoolean,
+    /// `COUNT` mixed with other projections.
+    CountNotAlone,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            TypeError::UnknownAttribute { class, attr } => {
+                write!(f, "class `{class}` has no attribute `{attr}`")
+            }
+            TypeError::NotTemporal { attr } => {
+                write!(f, "attribute `{attr}` is not temporal (no history)")
+            }
+            TypeError::SnapshotUndefinedInPast { class } => write!(
+                f,
+                "snapshot in the past is undefined for `{class}` (it has static attributes, Section 5.3)"
+            ),
+            TypeError::Incomparable { left, right } => {
+                write!(f, "cannot compare `{left}` with `{right}`")
+            }
+            TypeError::Unordered { ty } => write!(f, "type `{ty}` has no ordering"),
+            TypeError::NotBoolean { ty } => {
+                write!(f, "expected bool, found `{ty}`")
+            }
+            TypeError::FilterNotBoolean => write!(f, "WHERE filter must be boolean"),
+            TypeError::CountNotAlone => {
+                write!(f, "count(…) must be the only projection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// The checker's type lattice: a statically-known type, the type of `null`
+/// (every type), or an object of statically unknown class (oid literals).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Ty {
+    /// Fits every type.
+    Any,
+    /// Some object type, class unknown until runtime.
+    AnyObject,
+    /// A known T_Chimera type.
+    Known(Type),
+}
+
+impl Ty {
+    fn render(&self) -> String {
+        match self {
+            Ty::Any => "null".into(),
+            Ty::AnyObject => "object".into(),
+            Ty::Known(t) => t.to_string(),
+        }
+    }
+}
+
+/// The typing context of a query: each range variable with its class.
+pub type VarContext = [(String, ClassId)];
+
+/// Check a `SELECT` statement; returns the result column types.
+pub fn check_select(schema: &Schema, q: &Select) -> Result<Vec<Ty>, TypeError> {
+    // Resolve every range variable's class first.
+    let mut ctx: Vec<(String, ClassId)> = Vec::with_capacity(q.vars.len());
+    for (class, var) in &q.vars {
+        schema
+            .class(class)
+            .map_err(|_| TypeError::UnknownClass(class.clone()))?;
+        ctx.push((var.clone(), class.clone()));
+    }
+
+    let mut columns = Vec::new();
+    for (var, p) in &q.projections {
+        let class_id = q
+            .class_of(var)
+            .expect("validated by the parser")
+            .clone();
+        let class = schema
+            .class(&class_id)
+            .map_err(|_| TypeError::UnknownClass(class_id.clone()))?;
+        let ty = match p {
+            Projection::Var => Ty::Known(Type::Object(class_id.clone())),
+            Projection::Attr(a) => {
+                let decl = class.attr(a).ok_or_else(|| TypeError::UnknownAttribute {
+                    class: class_id.clone(),
+                    attr: a.clone(),
+                })?;
+                // A projected temporal attribute yields its instant value.
+                Ty::Known(
+                    decl.ty
+                        .strip_temporal()
+                        .cloned()
+                        .unwrap_or_else(|| decl.ty.clone()),
+                )
+            }
+            Projection::HistoryOf(a) => {
+                let decl = class.attr(a).ok_or_else(|| TypeError::UnknownAttribute {
+                    class: class_id.clone(),
+                    attr: a.clone(),
+                })?;
+                if !decl.ty.is_temporal() {
+                    return Err(TypeError::NotTemporal { attr: a.clone() });
+                }
+                Ty::Known(decl.ty.clone())
+            }
+            Projection::SnapshotOf => {
+                let in_past = !matches!(q.time, TimeSpec::Now);
+                if in_past && class.static_type().is_some() {
+                    return Err(TypeError::SnapshotUndefinedInPast {
+                        class: class_id.clone(),
+                    });
+                }
+                Ty::Known(class.structural_type())
+            }
+            Projection::ClassOf => Ty::Known(Type::STRING),
+            Projection::LifespanOf => Ty::Known(Type::record_of([
+                ("start", Type::Time),
+                ("end", Type::Time),
+            ])),
+            Projection::Count => {
+                if q.projections.len() != 1 {
+                    return Err(TypeError::CountNotAlone);
+                }
+                Ty::Known(Type::INTEGER)
+            }
+        };
+        columns.push(ty);
+    }
+
+    if let Some(filter) = &q.filter {
+        let t = check_expr(schema, &ctx, filter)?;
+        if !matches!(t, Ty::Any | Ty::Known(Type::Basic(tchimera_core::BasicType::Bool))) {
+            return Err(TypeError::FilterNotBoolean);
+        }
+    }
+    if let Some(order) = &q.order {
+        if matches!(q.projections.as_slice(), [(_, Projection::Count)]) {
+            return Err(TypeError::CountNotAlone);
+        }
+        let t = check_expr(
+            schema,
+            &ctx,
+            &Expr::Attr(order.var.clone(), order.attr.clone()),
+        )?;
+        if let Ty::Known(ty) = &t {
+            if !matches!(ty, Type::Basic(_) | Type::Time) {
+                return Err(TypeError::Unordered { ty: t.render() });
+            }
+        }
+    }
+    Ok(columns)
+}
+
+fn class_of<'c>(ctx: &'c VarContext, var: &str) -> &'c ClassId {
+    &ctx.iter()
+        .find(|(v, _)| v == var)
+        .expect("validated by the parser")
+        .1
+}
+
+/// Type an expression relative to the variable context.
+pub fn check_expr(schema: &Schema, ctx: &VarContext, e: &Expr) -> Result<Ty, TypeError> {
+    match e {
+        Expr::Lit(l) => Ok(type_literal(l)),
+        Expr::Var(v) => Ok(Ty::Known(Type::Object(class_of(ctx, v).clone()))),
+        Expr::Attr(v, a) => {
+            let class = class_of(ctx, v);
+            let cl = schema
+                .class(class)
+                .map_err(|_| TypeError::UnknownClass(class.clone()))?;
+            let decl = cl.attr(a).ok_or_else(|| TypeError::UnknownAttribute {
+                class: class.clone(),
+                attr: a.clone(),
+            })?;
+            Ok(Ty::Known(
+                decl.ty
+                    .strip_temporal()
+                    .cloned()
+                    .unwrap_or_else(|| decl.ty.clone()),
+            ))
+        }
+        Expr::AttrAt(v, a, _) => {
+            let class = class_of(ctx, v);
+            let cl = schema
+                .class(class)
+                .map_err(|_| TypeError::UnknownClass(class.clone()))?;
+            let decl = cl.attr(a).ok_or_else(|| TypeError::UnknownAttribute {
+                class: class.clone(),
+                attr: a.clone(),
+            })?;
+            let inner = decl
+                .ty
+                .strip_temporal()
+                .ok_or_else(|| TypeError::NotTemporal { attr: a.clone() })?;
+            Ok(Ty::Known(inner.clone()))
+        }
+        Expr::Defined(inner) => {
+            check_expr(schema, ctx, inner)?;
+            Ok(Ty::Known(Type::BOOL))
+        }
+        Expr::Cmp(op, l, r) => {
+            let lt = check_expr(schema, ctx, l)?;
+            let rt = check_expr(schema, ctx, r)?;
+            if !comparable(schema, &lt, &rt) {
+                return Err(TypeError::Incomparable {
+                    left: lt.render(),
+                    right: rt.render(),
+                });
+            }
+            if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                for t in [&lt, &rt] {
+                    if let Ty::Known(ty) = t {
+                        let ordered = matches!(ty, Type::Basic(_) | Type::Time);
+                        if !ordered {
+                            return Err(TypeError::Unordered { ty: t.render() });
+                        }
+                    }
+                }
+            }
+            Ok(Ty::Known(Type::BOOL))
+        }
+        Expr::And(l, r) | Expr::Or(l, r) => {
+            for side in [l, r] {
+                let t = check_expr(schema, ctx, side)?;
+                if !matches!(t, Ty::Any | Ty::Known(Type::Basic(tchimera_core::BasicType::Bool)))
+                {
+                    return Err(TypeError::NotBoolean { ty: t.render() });
+                }
+            }
+            Ok(Ty::Known(Type::BOOL))
+        }
+        Expr::Not(inner) | Expr::Always(inner) | Expr::Sometime(inner) => {
+            let t = check_expr(schema, ctx, inner)?;
+            if !matches!(t, Ty::Any | Ty::Known(Type::Basic(tchimera_core::BasicType::Bool))) {
+                return Err(TypeError::NotBoolean { ty: t.render() });
+            }
+            Ok(Ty::Known(Type::BOOL))
+        }
+        Expr::IsMember(_, c) => {
+            if !schema.contains(c) {
+                return Err(TypeError::UnknownClass(c.clone()));
+            }
+            Ok(Ty::Known(Type::BOOL))
+        }
+    }
+}
+
+/// The static type of a literal.
+pub fn type_literal(l: &Literal) -> Ty {
+    match l {
+        Literal::Null => Ty::Any,
+        Literal::Int(_) => Ty::Known(Type::INTEGER),
+        Literal::Real(_) => Ty::Known(Type::REAL),
+        Literal::Bool(_) => Ty::Known(Type::BOOL),
+        Literal::Str(_) => Ty::Known(Type::STRING),
+        Literal::Oid(_) => Ty::AnyObject,
+        Literal::Set(xs) | Literal::List(xs) => {
+            // Homogeneous literal collections get a known type; anything
+            // else degrades to Any (checked at runtime against Def 3.5).
+            let mut elem: Option<Ty> = None;
+            for x in xs {
+                let t = type_literal(x);
+                match (&elem, &t) {
+                    (None, _) => elem = Some(t),
+                    (Some(a), b) if a == b => {}
+                    _ => return Ty::Any,
+                }
+            }
+            match elem {
+                Some(Ty::Known(t)) => {
+                    if matches!(l, Literal::Set(_)) {
+                        Ty::Known(Type::set_of(t))
+                    } else {
+                        Ty::Known(Type::list_of(t))
+                    }
+                }
+                _ => Ty::Any,
+            }
+        }
+    }
+}
+
+/// Two checker types are comparable when one fits into the other —
+/// equality, subtyping in either direction, or a common lub.
+fn comparable(schema: &Schema, a: &Ty, b: &Ty) -> bool {
+    match (a, b) {
+        (Ty::Any, _) | (_, Ty::Any) => true,
+        (Ty::AnyObject, Ty::AnyObject) => true,
+        (Ty::AnyObject, Ty::Known(Type::Object(_)))
+        | (Ty::Known(Type::Object(_)), Ty::AnyObject) => true,
+        (Ty::AnyObject, _) | (_, Ty::AnyObject) => false,
+        (Ty::Known(x), Ty::Known(y)) => {
+            x == y
+                || schema.is_subtype(x, y)
+                || schema.is_subtype(y, x)
+                || schema.lub(x, y).is_some()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use tchimera_core::ClassDef;
+    use tchimera_core::Instant;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        let t0 = Instant(0);
+        s.define(ClassDef::new("person"), t0).unwrap();
+        s.define(
+            ClassDef::new("employee")
+                .isa("person")
+                .attr("salary", Type::temporal(Type::INTEGER))
+                .attr("grade", Type::INTEGER)
+                .attr("boss", Type::object("employee")),
+            t0,
+        )
+        .unwrap();
+        s.define(
+            ClassDef::new("log-entry").attr("reading", Type::temporal(Type::REAL)),
+            t0,
+        )
+        .unwrap();
+        s
+    }
+
+    fn select(src: &str) -> Select {
+        match parse(src).unwrap() {
+            crate::ast::Stmt::Select(s) => s,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn valid_queries_type() {
+        let s = schema();
+        let cols = check_select(
+            &s,
+            &select("select e, e.salary, history of e.salary, class of e, lifespan of e from employee e where e.salary >= 100 and e.grade = 2"),
+        )
+        .unwrap();
+        assert_eq!(cols.len(), 5);
+        assert_eq!(cols[0], Ty::Known(Type::object("employee")));
+        assert_eq!(cols[1], Ty::Known(Type::INTEGER));
+        assert_eq!(cols[2], Ty::Known(Type::temporal(Type::INTEGER)));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let s = schema();
+        assert_eq!(
+            check_select(&s, &select("select g from ghost g")),
+            Err(TypeError::UnknownClass(ClassId::from("ghost")))
+        );
+        assert!(matches!(
+            check_select(&s, &select("select e.ghost from employee e")),
+            Err(TypeError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            check_select(&s, &select("select e from employee e where e in ghost")),
+            Err(TypeError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn history_requires_temporal() {
+        let s = schema();
+        assert_eq!(
+            check_select(&s, &select("select history of e.grade from employee e")),
+            Err(TypeError::NotTemporal { attr: "grade".into() })
+        );
+        assert!(matches!(
+            check_select(
+                &s,
+                &select("select e from employee e where e.grade at 5 = 1")
+            ),
+            Err(TypeError::NotTemporal { .. })
+        ));
+        // AT on a temporal attribute is fine.
+        check_select(&s, &select("select e from employee e where e.salary at 5 = 1"))
+            .unwrap();
+    }
+
+    #[test]
+    fn snapshot_in_past_rules() {
+        let s = schema();
+        // employee has static attrs (grade, boss): past snapshot rejected.
+        assert!(matches!(
+            check_select(&s, &select("select snapshot of e from employee e as of 5")),
+            Err(TypeError::SnapshotUndefinedInPast { .. })
+        ));
+        // now-snapshot fine.
+        check_select(&s, &select("select snapshot of e from employee e")).unwrap();
+        // Fully temporal class: past snapshot fine.
+        check_select(&s, &select("select snapshot of x from log-entry x as of 5")).unwrap();
+    }
+
+    #[test]
+    fn comparison_typing() {
+        let s = schema();
+        // integer vs string: incomparable.
+        assert!(matches!(
+            check_select(&s, &select("select e from employee e where e.salary = 'x'")),
+            Err(TypeError::Incomparable { .. })
+        ));
+        // Object ordering is rejected.
+        assert!(matches!(
+            check_select(&s, &select("select e from employee e where e.boss < #3")),
+            Err(TypeError::Unordered { .. })
+        ));
+        // Object equality with an oid literal is fine.
+        check_select(&s, &select("select e from employee e where e.boss = #3")).unwrap();
+        // null is comparable with anything.
+        check_select(&s, &select("select e from employee e where e.boss = null")).unwrap();
+    }
+
+    #[test]
+    fn boolean_contexts() {
+        let s = schema();
+        assert!(matches!(
+            check_select(&s, &select("select e from employee e where e.grade")),
+            Err(TypeError::FilterNotBoolean)
+        ));
+        assert!(matches!(
+            check_select(
+                &s,
+                &select("select e from employee e where not (e.grade)")
+            ),
+            Err(TypeError::NotBoolean { .. })
+        ));
+        check_select(
+            &s,
+            &select("select e from employee e where sometime(e.salary > 10) and defined(e.boss)"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn literal_typing() {
+        assert_eq!(type_literal(&Literal::Null), Ty::Any);
+        assert_eq!(type_literal(&Literal::Oid(3)), Ty::AnyObject);
+        assert_eq!(
+            type_literal(&Literal::Set(vec![Literal::Int(1), Literal::Int(2)])),
+            Ty::Known(Type::set_of(Type::INTEGER))
+        );
+        assert_eq!(
+            type_literal(&Literal::List(vec![Literal::Int(1), Literal::Str("x".into())])),
+            Ty::Any
+        );
+        assert_eq!(type_literal(&Literal::Set(vec![])), Ty::Any);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TypeError::Incomparable {
+            left: "integer".into(),
+            right: "string".into(),
+        };
+        assert!(e.to_string().contains("integer"));
+        assert!(TypeError::FilterNotBoolean.to_string().contains("WHERE"));
+    }
+}

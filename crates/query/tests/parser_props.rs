@@ -1,0 +1,53 @@
+//! Property tests for the TCQL front end: the lexer/parser never panic on
+//! arbitrary input, and generated well-formed queries parse and type-check.
+
+use proptest::prelude::*;
+use tchimera_query::{parse, parse_script};
+
+proptest! {
+    /// Total on garbage: any string either parses or errors — no panics.
+    #[test]
+    fn parser_is_total(src in ".{0,200}") {
+        let _ = parse(&src);
+        let _ = parse_script(&src);
+    }
+
+    /// Total on token-shaped garbage (higher hit rate on deep parser
+    /// paths than raw unicode).
+    #[test]
+    fn parser_is_total_on_tokens(words in prop::collection::vec(
+        prop_oneof![
+            Just("select".to_owned()), Just("from".to_owned()),
+            Just("where".to_owned()), Just("define".to_owned()),
+            Just("class".to_owned()), Just("history".to_owned()),
+            Just("of".to_owned()), Just("(".to_owned()), Just(")".to_owned()),
+            Just(",".to_owned()), Just(";".to_owned()), Just(":=".to_owned()),
+            Just("#3".to_owned()), Just("'s'".to_owned()), Just("42".to_owned()),
+            Just("e".to_owned()), Just("e.x".to_owned()), Just("always".to_owned()),
+            Just("during".to_owned()), Just("[".to_owned()), Just("]".to_owned()),
+            Just("temporal".to_owned()), Just("integer".to_owned()),
+        ], 0..24))
+    {
+        let src = words.join(" ");
+        let _ = parse(&src);
+        let _ = parse_script(&src);
+    }
+
+    /// Generated well-formed selects round-trip through parse + check.
+    #[test]
+    fn generated_selects_parse(
+        class in "[a-z]{1,8}",
+        var in "[a-z]{1,3}",
+        attr in "[a-z]{1,6}",
+        lo in 0u64..100,
+        len in 0u64..100,
+        sal in -100i64..100,
+    ) {
+        let q1 = format!("select {var}, {var}.{attr} from {class} {var} where {var}.{attr} >= {sal}");
+        let q2 = format!("select history of {var}.{attr} from {class} {var} during [{lo}, {}]", lo + len);
+        let q3 = format!("select count({var}) from {class} {var} as of {lo} where sometime({var}.{attr} = {sal})");
+        for q in [q1, q2, q3] {
+            parse(&q).unwrap_or_else(|e| panic!("{q} failed: {e}"));
+        }
+    }
+}

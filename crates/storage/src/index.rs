@@ -1,0 +1,334 @@
+//! Temporal indexing: an interval tree over lifespans and membership
+//! periods, answering stabbing ("who existed at `t`?") and window
+//! ("who overlapped `[a, b]`?") queries without scanning every object.
+
+use tchimera_core::{ClassId, Database, Instant, Interval, Oid};
+
+/// A static centered interval tree mapping intervals to payloads.
+///
+/// Built once from a batch of `(interval, key)` pairs; queries are
+/// `O(log n + k)`. Rebuild to refresh (the index is a derived structure —
+/// the database remains the source of truth, which the `verify_against`
+/// tests exploit).
+pub struct IntervalTree<K> {
+    root: Option<Box<Node<K>>>,
+    len: usize,
+}
+
+struct Node<K> {
+    center: Instant,
+    /// Intervals containing `center`, sorted by start ascending.
+    by_start: Vec<(Interval, K)>,
+    /// The same intervals, sorted by end descending.
+    by_end: Vec<(Interval, K)>,
+    left: Option<Box<Node<K>>>,
+    right: Option<Box<Node<K>>>,
+}
+
+impl<K: Clone> IntervalTree<K> {
+    /// Build a tree from `(interval, key)` pairs; empty intervals are
+    /// skipped.
+    pub fn build(items: Vec<(Interval, K)>) -> IntervalTree<K> {
+        let items: Vec<(Interval, K)> =
+            items.into_iter().filter(|(iv, _)| !iv.is_empty()).collect();
+        let len = items.len();
+        IntervalTree {
+            root: Self::build_node(items),
+            len,
+        }
+    }
+
+    fn build_node(items: Vec<(Interval, K)>) -> Option<Box<Node<K>>> {
+        if items.is_empty() {
+            return None;
+        }
+        // Median of endpoints as the center.
+        let mut endpoints: Vec<u64> = items
+            .iter()
+            .flat_map(|(iv, _)| [iv.lo().unwrap().ticks(), iv.hi().unwrap().ticks()])
+            .collect();
+        endpoints.sort_unstable();
+        let center = Instant(endpoints[endpoints.len() / 2]);
+
+        let mut here = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (iv, k) in items {
+            if iv.hi().unwrap() < center {
+                left.push((iv, k));
+            } else if iv.lo().unwrap() > center {
+                right.push((iv, k));
+            } else {
+                here.push((iv, k));
+            }
+        }
+        let mut by_start = here.clone();
+        by_start.sort_by_key(|(iv, _)| iv.lo().unwrap());
+        let mut by_end = here;
+        by_end.sort_by_key(|(iv, _)| std::cmp::Reverse(iv.hi().unwrap()));
+        Some(Box::new(Node {
+            center,
+            by_start,
+            by_end,
+            left: Self::build_node(left),
+            right: Self::build_node(right),
+        }))
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All keys whose interval contains `t` (stabbing query).
+    pub fn stab(&self, t: Instant) -> Vec<K> {
+        let mut out = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if t < n.center {
+                // Intervals at this node start ≤ center; those starting ≤ t
+                // contain t.
+                for (iv, k) in &n.by_start {
+                    if iv.lo().unwrap() <= t {
+                        out.push(k.clone());
+                    } else {
+                        break;
+                    }
+                }
+                node = n.left.as_deref();
+            } else if t > n.center {
+                for (iv, k) in &n.by_end {
+                    if iv.hi().unwrap() >= t {
+                        out.push(k.clone());
+                    } else {
+                        break;
+                    }
+                }
+                node = n.right.as_deref();
+            } else {
+                for (_, k) in &n.by_start {
+                    out.push(k.clone());
+                }
+                node = None;
+            }
+        }
+        out
+    }
+
+    /// All keys whose interval overlaps `window`.
+    pub fn overlapping(&self, window: Interval) -> Vec<K> {
+        let mut out = Vec::new();
+        if window.is_empty() {
+            return out;
+        }
+        Self::overlap_node(self.root.as_deref(), window, &mut out);
+        out
+    }
+
+    fn overlap_node(node: Option<&Node<K>>, w: Interval, out: &mut Vec<K>) {
+        let Some(n) = node else { return };
+        for (iv, k) in &n.by_start {
+            if iv.overlaps(w) {
+                out.push(k.clone());
+            }
+        }
+        if w.lo().unwrap() < n.center {
+            Self::overlap_node(n.left.as_deref(), w, out);
+        }
+        if w.hi().unwrap() > n.center {
+            Self::overlap_node(n.right.as_deref(), w, out);
+        }
+    }
+}
+
+/// A temporal index over a database: object lifespans plus, per class,
+/// membership periods.
+pub struct TemporalIndex {
+    lifespans: IntervalTree<Oid>,
+    memberships: Vec<(ClassId, IntervalTree<Oid>)>,
+    built_at: Instant,
+}
+
+impl TemporalIndex {
+    /// Build the index from the current database state.
+    pub fn build(db: &Database) -> TemporalIndex {
+        let now = db.now();
+        let lifespans = IntervalTree::build(
+            db.objects()
+                .map(|o| (o.lifespan.resolve(now), o.oid))
+                .collect(),
+        );
+        let mut memberships = Vec::new();
+        for class in db.schema().classes() {
+            let mut items = Vec::new();
+            for i in class.ever_members() {
+                for &iv in class.membership_of(i, now).intervals() {
+                    items.push((iv, i));
+                }
+            }
+            memberships.push((class.id.clone(), IntervalTree::build(items)));
+        }
+        TemporalIndex {
+            lifespans,
+            memberships,
+            built_at: now,
+        }
+    }
+
+    /// Oids of objects alive at `t` (sorted).
+    pub fn alive_at(&self, t: Instant) -> Vec<Oid> {
+        let mut v = self.lifespans.stab(t);
+        v.sort();
+        v
+    }
+
+    /// Oids of objects whose lifespan overlaps the window (sorted,
+    /// deduplicated).
+    pub fn alive_during(&self, window: Interval) -> Vec<Oid> {
+        let mut v = self.lifespans.overlapping(window);
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Members of `class` at `t` (sorted) — the indexed counterpart of
+    /// `π(class, t)`.
+    pub fn members_at(&self, class: &ClassId, t: Instant) -> Vec<Oid> {
+        match self.memberships.iter().find(|(c, _)| c == class) {
+            Some((_, tree)) => {
+                let mut v = tree.stab(t);
+                v.sort();
+                v.dedup();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The instant the index was built at (queries about later instants
+    /// need a rebuild).
+    pub fn built_at(&self) -> Instant {
+        self.built_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchimera_core::{attrs, Attrs, ClassDef, Database, Type, Value};
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::from_ticks(a, b)
+    }
+
+    #[test]
+    fn stab_matches_linear_scan() {
+        let items: Vec<(Interval, usize)> = vec![
+            (iv(0, 10), 0),
+            (iv(5, 15), 1),
+            (iv(12, 20), 2),
+            (iv(3, 3), 3),
+            (iv(18, 40), 4),
+            (iv(25, 30), 5),
+        ];
+        let tree = IntervalTree::build(items.clone());
+        assert_eq!(tree.len(), 6);
+        for t in 0..=45 {
+            let mut expect: Vec<usize> = items
+                .iter()
+                .filter(|(iv, _)| iv.contains(Instant(t)))
+                .map(|(_, k)| *k)
+                .collect();
+            expect.sort();
+            let mut got = tree.stab(Instant(t));
+            got.sort();
+            assert_eq!(got, expect, "stab({t})");
+        }
+    }
+
+    #[test]
+    fn overlap_matches_linear_scan() {
+        let items: Vec<(Interval, usize)> = vec![
+            (iv(0, 10), 0),
+            (iv(5, 15), 1),
+            (iv(12, 20), 2),
+            (iv(30, 35), 3),
+        ];
+        let tree = IntervalTree::build(items.clone());
+        for a in 0..40 {
+            for b in a..40 {
+                let w = iv(a, b);
+                let mut expect: Vec<usize> = items
+                    .iter()
+                    .filter(|(iv, _)| iv.overlaps(w))
+                    .map(|(_, k)| *k)
+                    .collect();
+                expect.sort();
+                let mut got = tree.overlapping(w);
+                got.sort();
+                assert_eq!(got, expect, "overlap({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: IntervalTree<u32> = IntervalTree::build(vec![]);
+        assert!(tree.is_empty());
+        assert!(tree.stab(Instant(5)).is_empty());
+        assert!(tree.overlapping(iv(0, 100)).is_empty());
+        // Empty intervals are skipped.
+        let tree = IntervalTree::build(vec![(Interval::EMPTY, 1u32)]);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn temporal_index_agrees_with_pi() {
+        let mut db = Database::new();
+        db.define_class(ClassDef::new("person")).unwrap();
+        db.define_class(
+            ClassDef::new("employee")
+                .isa("person")
+                .attr("salary", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        db.advance_to(Instant(10)).unwrap();
+        let a = db
+            .create_object(&ClassId::from("employee"), attrs([("salary", Value::Int(1))]))
+            .unwrap();
+        let b = db.create_object(&ClassId::from("person"), Attrs::new()).unwrap();
+        db.advance_to(Instant(20)).unwrap();
+        db.migrate(a, &ClassId::from("person"), Attrs::new()).unwrap();
+        db.advance_to(Instant(30)).unwrap();
+        db.terminate_object(b).unwrap();
+        db.advance_to(Instant(40)).unwrap();
+
+        let idx = TemporalIndex::build(&db);
+        assert_eq!(idx.built_at(), Instant(40));
+        for t in [0u64, 10, 15, 20, 25, 30, 35, 40] {
+            let t = Instant(t);
+            for class in ["person", "employee"] {
+                let cid = ClassId::from(class);
+                assert_eq!(
+                    idx.members_at(&cid, t),
+                    db.pi(&cid, t).unwrap(),
+                    "members_at({class},{t}) disagrees with π"
+                );
+            }
+            let alive: Vec<Oid> = db
+                .objects()
+                .filter(|o| o.lifespan.contains(t, db.now()))
+                .map(|o| o.oid)
+                .collect();
+            assert_eq!(idx.alive_at(t), alive, "alive_at({t})");
+        }
+        assert_eq!(idx.alive_during(iv(0, 9)), vec![]);
+        assert_eq!(idx.alive_during(iv(0, 100)), vec![a, b]);
+        assert_eq!(idx.members_at(&ClassId::from("ghost"), Instant(10)), vec![]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # tchimera-storage
+//!
+//! Persistence substrate for the T_Chimera temporal object-oriented data
+//! model: the paper (Bertino, Ferrari, Guerrini — EDBT 1996) defers
+//! "implementation issues" to future work; this crate supplies them.
+//!
+//! * [`codec`] — a compact, dependency-free binary codec for every model
+//!   type (varints, tagged unions, canonical round-trips).
+//! * [`op`] — the logged [`op::Operation`] vocabulary mirroring every
+//!   database mutation, with a single `apply` path shared by online
+//!   execution and recovery.
+//! * [`log`] — the CRC-framed append-only [`log::OpLog`] with torn-tail
+//!   truncation.
+//! * [`engine`] — [`engine::PersistentDatabase`], an event-sourced,
+//!   write-ahead-logged database with replay recovery and state digests.
+//!   (T_Chimera state is a pure fold of its history — the model's own
+//!   valid-time semantics make event sourcing the natural storage design.)
+//! * [`index`] — [`index::IntervalTree`] and [`index::TemporalIndex`] for
+//!   `O(log n + k)` time-travel queries (who existed / was a member at
+//!   `t`?).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod engine;
+pub mod index;
+pub mod log;
+pub mod op;
+
+pub use codec::{Codec, CodecError, Reader};
+pub use engine::{digest_database, EngineError, PersistentDatabase};
+pub use index::{IntervalTree, TemporalIndex};
+pub use log::{LogError, LogScan, OpLog};
+pub use op::{Operation, ReplayError};

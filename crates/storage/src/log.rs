@@ -1,0 +1,292 @@
+//! The append-only operation log.
+//!
+//! Record framing: `[len: u32 LE][crc32: u32 LE][payload: len bytes]`,
+//! where the CRC covers the payload. Recovery scans records until EOF or
+//! the first damaged record (torn tail after a crash), truncating the rest.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Codec, CodecError, Reader};
+use crate::op::Operation;
+
+/// CRC-32 (IEEE 802.3), bitwise implementation with a lazily built table.
+fn crc32(data: &[u8]) -> u32 {
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, e) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *e = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Errors raised by the log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A fully-framed record failed to decode (not a torn tail — the frame
+    /// was intact but the payload is not a valid operation).
+    Decode(CodecError),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::Decode(e) => write!(f, "log decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// The outcome of opening a log: the decoded operations plus tail
+/// diagnostics.
+pub struct LogScan {
+    /// All intact operations, in append order.
+    pub ops: Vec<Operation>,
+    /// Bytes of valid prefix.
+    pub valid_len: u64,
+    /// `true` if a torn/corrupt tail was found (and will be truncated on
+    /// the next append).
+    pub torn_tail: bool,
+}
+
+/// An append-only, CRC-framed operation log backed by a single file.
+pub struct OpLog {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    appended: u64,
+}
+
+impl OpLog {
+    /// Open (or create) the log at `path` and scan its contents.
+    pub fn open(path: impl AsRef<Path>) -> Result<(OpLog, LogScan), LogError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+        let scan = Self::scan(&buf)?;
+        if scan.torn_tail {
+            // Truncate the damaged tail so appends resume from the valid
+            // prefix.
+            file.set_len(scan.valid_len)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let len = scan.valid_len;
+        Ok((
+            OpLog {
+                file,
+                path,
+                len,
+                appended: 0,
+            },
+            scan,
+        ))
+    }
+
+    fn scan(buf: &[u8]) -> Result<LogScan, LogError> {
+        let mut ops = Vec::new();
+        let mut pos = 0usize;
+        let mut torn = false;
+        while pos < buf.len() {
+            if buf.len() - pos < 8 {
+                torn = true;
+                break;
+            }
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            if buf.len() - pos - 8 < len {
+                torn = true;
+                break;
+            }
+            let payload = &buf[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                torn = true;
+                break;
+            }
+            let mut r = Reader::new(payload);
+            let op = Operation::decode(&mut r).map_err(LogError::Decode)?;
+            if !r.is_empty() {
+                return Err(LogError::Decode(CodecError::Corrupt("trailing bytes")));
+            }
+            ops.push(op);
+            pos += 8 + len;
+        }
+        Ok(LogScan {
+            ops,
+            valid_len: pos as u64,
+            torn_tail: torn,
+        })
+    }
+
+    /// Scan a log file read-only (no truncation of torn tails, no handle
+    /// kept). Used for transaction-time inspection of a live log.
+    pub fn scan_file(path: impl AsRef<Path>) -> Result<LogScan, LogError> {
+        let buf = std::fs::read(path)?;
+        Self::scan(&buf)
+    }
+
+    /// Append one operation (buffered; call [`OpLog::sync`] to make it
+    /// durable).
+    pub fn append(&mut self, op: &Operation) -> Result<(), LogError> {
+        let payload = op.to_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Flush and fsync.
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Current byte length of the valid log.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Operations appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchimera_core::{ClassDef, ClassId, Instant};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tchimera-log-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_ops() -> Vec<Operation> {
+        vec![
+            Operation::AdvanceTo(Instant(5)),
+            Operation::DefineClass(ClassDef::new("c")),
+            Operation::CreateObject {
+                class: ClassId::from("c"),
+                init: Default::default(),
+                expect: tchimera_core::Oid(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_and_rescan() {
+        let path = tmp("basic");
+        {
+            let (mut log, scan) = OpLog::open(&path).unwrap();
+            assert!(scan.ops.is_empty());
+            assert!(!scan.torn_tail);
+            for op in sample_ops() {
+                log.append(&op).unwrap();
+            }
+            log.sync().unwrap();
+            assert_eq!(log.appended(), 3);
+        }
+        let (log, scan) = OpLog::open(&path).unwrap();
+        assert_eq!(scan.ops.len(), 3);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.valid_len, log.len_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        {
+            let (mut log, _) = OpLog::open(&path).unwrap();
+            for op in sample_ops() {
+                log.append(&op).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the end.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (mut log, scan) = OpLog::open(&path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.ops.len(), 2); // last record lost
+        // The file was truncated to the valid prefix; appends resume.
+        log.append(&Operation::AdvanceTo(Instant(9))).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, scan) = OpLog::open(&path).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.ops.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bitflip_in_payload_detected() {
+        let path = tmp("bitflip");
+        {
+            let (mut log, _) = OpLog::open(&path).unwrap();
+            for op in sample_ops() {
+                log.append(&op).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, scan) = OpLog::open(&path).unwrap();
+        assert!(scan.torn_tail);
+        assert!(scan.ops.len() < 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc_reference_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the binary codec: round-trip identity on random
+//! values/types, and total robustness (never panics) on arbitrary bytes.
+
+use proptest::prelude::*;
+use tchimera_core::{AttrName, Instant, Interval, Oid, TemporalValue, Type, Value};
+use tchimera_storage::{Codec, Operation};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Real),
+        any::<bool>().prop_map(Value::Bool),
+        any::<char>().prop_map(Value::Char),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Value::str),
+        (0u64..10_000).prop_map(|t| Value::Time(Instant(t))),
+        (0u64..10_000).prop_map(|i| Value::Oid(Oid(i))),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::set),
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::list),
+            prop::collection::vec(("[a-f]{1,3}", inner.clone()), 0..4).prop_map(|fs| {
+                let mut seen = std::collections::BTreeSet::new();
+                Value::record(
+                    fs.into_iter()
+                        .filter(|(n, _)| seen.insert(n.clone()))
+                        .collect::<Vec<_>>(),
+                )
+            }),
+            (prop::collection::vec((0u64..1000, 1u64..20, inner), 0..4)).prop_map(|runs| {
+                let mut tv = TemporalValue::new();
+                let mut t = 0u64;
+                for (gap, len, v) in runs {
+                    let start = t + gap + 1;
+                    let end = start + len;
+                    tv.overwrite(Interval::from_ticks(start, end), v).unwrap();
+                    t = end + 1;
+                }
+                Value::Temporal(tv)
+            }),
+        ]
+    })
+}
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Time),
+        Just(Type::INTEGER),
+        Just(Type::REAL),
+        Just(Type::BOOL),
+        Just(Type::CHARACTER),
+        Just(Type::STRING),
+        "[a-z]{1,6}".prop_map(Type::object),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Type::set_of),
+            inner.clone().prop_map(Type::list_of),
+            inner.clone().prop_map(|t| Type::Temporal(Box::new(t))),
+            prop::collection::vec(("[a-f]{1,3}", inner), 1..4).prop_map(|fs| {
+                let mut seen = std::collections::BTreeSet::new();
+                Type::record_of(
+                    fs.into_iter()
+                        .filter(|(n, _)| seen.insert(n.clone()))
+                        .collect::<Vec<_>>(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Decode(encode(v)) == v for arbitrary values (modulo NaN bit
+    /// patterns, which the `Value` total order already identifies).
+    #[test]
+    fn value_round_trip(v in arb_value()) {
+        let bytes = v.to_bytes();
+        let back = Value::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn type_round_trip(t in arb_type()) {
+        let bytes = t.to_bytes();
+        let back = Type::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Arbitrary byte soup never panics the decoder — it errors.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Value::from_bytes(&bytes);
+        let _ = Type::from_bytes(&bytes);
+        let _ = Operation::from_bytes(&bytes);
+        let _ = TemporalValue::<Value>::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding at any point errors (never panics,
+    /// never silently succeeds with a different value).
+    #[test]
+    fn truncation_always_detected(v in arb_value()) {
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            match Value::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(other) => prop_assert_eq!(
+                    &other, &v,
+                    "truncated decode produced a different value"
+                ),
+            }
+        }
+    }
+
+    /// Operations survive a log-style encode/decode cycle.
+    #[test]
+    fn operation_round_trip(v in arb_value(), oid in 0u64..1000, name in "[a-z]{1,8}") {
+        let op = Operation::SetAttr {
+            oid: Oid(oid),
+            attr: AttrName::from(name.as_str()),
+            value: v,
+        };
+        let bytes = op.to_bytes();
+        let back = Operation::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(bytes, back.to_bytes());
+    }
+}

@@ -1,0 +1,163 @@
+//! Instants of the discrete time domain and symbolic interval endpoints.
+
+use std::fmt;
+
+/// A point of the discrete time domain `TIME = {0, 1, …}`.
+///
+/// The paper assumes time to be discrete and isomorphic to the natural
+/// numbers, with `0` denoting the relative beginning (Section 3.2). An
+/// `Instant` is a plain newtype over `u64` so it is `Copy`, totally ordered
+/// and hashable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+impl Instant {
+    /// The relative beginning of time, `0`.
+    pub const ZERO: Instant = Instant(0);
+    /// The largest representable instant.
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// The successor instant (`t + 1`), saturating at [`Instant::MAX`].
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Instant {
+        Instant(self.0.saturating_add(1))
+    }
+
+    /// The predecessor instant (`t - 1`), or `None` if `self` is `0`.
+    #[inline]
+    #[must_use]
+    pub fn prev(self) -> Option<Instant> {
+        self.0.checked_sub(1).map(Instant)
+    }
+
+    /// Advance by `n` ticks, saturating.
+    #[inline]
+    #[must_use]
+    pub fn advance(self, n: u64) -> Instant {
+        Instant(self.0.saturating_add(n))
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Instant {
+    fn from(t: u64) -> Self {
+        Instant(t)
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An interval endpoint: either a fixed instant or the moving constant `now`.
+///
+/// The paper writes lifespans and history entries like `[10, now]`. `now` is
+/// not a number — it denotes whatever the current database time is, so a
+/// bound of `Now` keeps tracking the clock until the interval is explicitly
+/// closed. All temporal algebra resolves `TimeBound`s against an explicit
+/// clock value via [`TimeBound::resolve`]; nothing in this crate reads a
+/// global clock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimeBound {
+    /// A fixed instant.
+    Fixed(Instant),
+    /// The moving current time.
+    Now,
+}
+
+impl TimeBound {
+    /// Resolve the bound against the given clock value.
+    #[inline]
+    #[must_use]
+    pub fn resolve(self, now: Instant) -> Instant {
+        match self {
+            TimeBound::Fixed(t) => t,
+            TimeBound::Now => now,
+        }
+    }
+
+    /// `true` if this bound is the moving `now`.
+    #[inline]
+    pub fn is_now(self) -> bool {
+        matches!(self, TimeBound::Now)
+    }
+}
+
+impl From<Instant> for TimeBound {
+    fn from(t: Instant) -> Self {
+        TimeBound::Fixed(t)
+    }
+}
+
+impl From<u64> for TimeBound {
+    fn from(t: u64) -> Self {
+        TimeBound::Fixed(Instant(t))
+    }
+}
+
+impl fmt::Display for TimeBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeBound::Fixed(t) => write!(f, "{t}"),
+            TimeBound::Now => write!(f, "now"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_and_predecessor() {
+        assert_eq!(Instant(3).next(), Instant(4));
+        assert_eq!(Instant(3).prev(), Some(Instant(2)));
+        assert_eq!(Instant::ZERO.prev(), None);
+        assert_eq!(Instant::MAX.next(), Instant::MAX);
+    }
+
+    #[test]
+    fn advance_saturates() {
+        assert_eq!(Instant(10).advance(5), Instant(15));
+        assert_eq!(Instant::MAX.advance(1), Instant::MAX);
+    }
+
+    #[test]
+    fn bound_resolution() {
+        let now = Instant(42);
+        assert_eq!(TimeBound::Fixed(Instant(7)).resolve(now), Instant(7));
+        assert_eq!(TimeBound::Now.resolve(now), Instant(42));
+        assert!(TimeBound::Now.is_now());
+        assert!(!TimeBound::from(Instant(7)).is_now());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Instant(3) < Instant(10));
+        let mut v = vec![Instant(5), Instant(1), Instant(3)];
+        v.sort();
+        assert_eq!(v, vec![Instant(1), Instant(3), Instant(5)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Instant(9).to_string(), "9");
+        assert_eq!(TimeBound::Now.to_string(), "now");
+        assert_eq!(TimeBound::from(9u64).to_string(), "9");
+        assert_eq!(format!("{:?}", Instant(9)), "t9");
+    }
+}

@@ -1,0 +1,269 @@
+//! Closed intervals of consecutive time instants.
+
+use std::fmt;
+
+use crate::Instant;
+
+/// A closed interval `[lo, hi]` of consecutive time instants, or the *null
+/// interval* `[]` containing no instants (paper, Section 3.2).
+///
+/// The paper defines an interval `I = [t1, t2]` as the set of all instants
+/// between `t1` and `t2` inclusive, a single instant `t` as `[t, t]`, and
+/// the null interval `[]`. Union, intersection and inclusion have their set
+/// semantics; since the union of two disjoint intervals is not an interval,
+/// `Interval::merge` returns an [`IntervalSet`](crate::IntervalSet)-ready
+/// pair and the full algebra lives on `IntervalSet`.
+///
+/// Internally the empty interval is the canonical pair `lo = 1, hi = 0`, so
+/// `Eq`/`Hash` treat all empty intervals as one value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: Instant,
+    hi: Instant,
+}
+
+impl Interval {
+    /// The null interval `[]`.
+    pub const EMPTY: Interval = Interval {
+        lo: Instant(1),
+        hi: Instant(0),
+    };
+
+    /// Build `[lo, hi]`. Returns the null interval when `lo > hi`.
+    #[inline]
+    #[must_use]
+    pub fn new(lo: Instant, hi: Instant) -> Interval {
+        if lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The singleton interval `[t, t]`.
+    #[inline]
+    #[must_use]
+    pub fn point(t: Instant) -> Interval {
+        Interval { lo: t, hi: t }
+    }
+
+    /// Convenience constructor from raw ticks.
+    #[inline]
+    #[must_use]
+    pub fn from_ticks(lo: u64, hi: u64) -> Interval {
+        Interval::new(Instant(lo), Instant(hi))
+    }
+
+    /// `true` for the null interval.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Lower endpoint, `None` for the null interval.
+    #[inline]
+    pub fn lo(self) -> Option<Instant> {
+        (!self.is_empty()).then_some(self.lo)
+    }
+
+    /// Upper endpoint, `None` for the null interval.
+    #[inline]
+    pub fn hi(self) -> Option<Instant> {
+        (!self.is_empty()).then_some(self.hi)
+    }
+
+    /// Number of instants contained.
+    #[inline]
+    pub fn len(self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.hi.0 - self.lo.0 + 1
+        }
+    }
+
+    /// Membership test `t ∈ I`.
+    #[inline]
+    pub fn contains(self, t: Instant) -> bool {
+        !self.is_empty() && self.lo <= t && t <= self.hi
+    }
+
+    /// Inclusion test `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Interval) -> bool {
+        self.is_empty() || (!other.is_empty() && other.lo <= self.lo && self.hi <= other.hi)
+    }
+
+    /// Set intersection `I1 ∩ I2` — always an interval.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// `true` if the two intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// `true` if the union of the two intervals is itself an interval, i.e.
+    /// they overlap or are adjacent on the discrete axis (`[1,5]` and
+    /// `[6,9]` are mergeable).
+    #[inline]
+    pub fn mergeable(self, other: Interval) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return true;
+        }
+        // Adjacency: hi + 1 == other.lo (guard against overflow at MAX).
+        let touches = |a: Interval, b: Interval| a.hi.0 >= b.lo.0.saturating_sub(1);
+        touches(self, other) && touches(other, self)
+    }
+
+    /// The union of two mergeable intervals; `None` when a gap separates
+    /// them (use [`IntervalSet`](crate::IntervalSet) for the general union).
+    #[inline]
+    #[must_use]
+    pub fn merge(self, other: Interval) -> Option<Interval> {
+        if self.is_empty() {
+            return Some(other);
+        }
+        if other.is_empty() {
+            return Some(self);
+        }
+        self.mergeable(other)
+            .then(|| Interval::new(self.lo.min(other.lo), self.hi.max(other.hi)))
+    }
+
+    /// Set difference `self \ other` as up to two disjoint intervals
+    /// (left part, right part).
+    #[must_use]
+    pub fn difference(self, other: Interval) -> (Interval, Interval) {
+        if self.is_empty() || other.is_empty() || !self.overlaps(other) {
+            return (self, Interval::EMPTY);
+        }
+        let left = if other.lo > self.lo {
+            // other.lo > self.lo >= 0, so other.lo >= 1 and prev is safe.
+            Interval::new(self.lo, other.lo.prev().expect("other.lo > 0"))
+        } else {
+            Interval::EMPTY
+        };
+        let right = if other.hi < self.hi {
+            Interval::new(other.hi.next(), self.hi)
+        } else {
+            Interval::EMPTY
+        };
+        (left, right)
+    }
+
+    /// Iterate every instant of the interval in increasing order.
+    pub fn instants(self) -> impl Iterator<Item = Instant> {
+        let (lo, hi, empty) = (self.lo.0, self.hi.0, self.is_empty());
+        (lo..=hi).filter(move |_| !empty).map(Instant)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[]")
+        } else {
+            write!(f, "[{},{}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::from_ticks(lo, hi)
+    }
+
+    #[test]
+    fn null_interval_is_canonical() {
+        assert!(Interval::EMPTY.is_empty());
+        assert_eq!(iv(5, 3), Interval::EMPTY);
+        assert_eq!(iv(5, 3), iv(10, 2));
+        assert_eq!(Interval::EMPTY.len(), 0);
+        assert_eq!(Interval::EMPTY.lo(), None);
+        assert_eq!(Interval::EMPTY.hi(), None);
+    }
+
+    #[test]
+    fn membership_matches_paper_semantics() {
+        let i = iv(5, 10);
+        assert!(i.contains(Instant(5)));
+        assert!(i.contains(Instant(10)));
+        assert!(i.contains(Instant(7)));
+        assert!(!i.contains(Instant(4)));
+        assert!(!i.contains(Instant(11)));
+        assert!(!Interval::EMPTY.contains(Instant(0)));
+        assert_eq!(i.len(), 6);
+        assert_eq!(Interval::point(Instant(3)), iv(3, 3));
+    }
+
+    #[test]
+    fn intersection_is_set_intersection() {
+        assert_eq!(iv(1, 5).intersect(iv(3, 9)), iv(3, 5));
+        assert_eq!(iv(1, 5).intersect(iv(6, 9)), Interval::EMPTY);
+        assert_eq!(iv(1, 5).intersect(Interval::EMPTY), Interval::EMPTY);
+        assert_eq!(iv(1, 9).intersect(iv(3, 4)), iv(3, 4));
+    }
+
+    #[test]
+    fn inclusion() {
+        assert!(iv(3, 4).is_subset(iv(1, 9)));
+        assert!(!iv(1, 9).is_subset(iv(3, 4)));
+        assert!(Interval::EMPTY.is_subset(iv(3, 4)));
+        assert!(Interval::EMPTY.is_subset(Interval::EMPTY));
+        assert!(!iv(3, 4).is_subset(Interval::EMPTY));
+        assert!(iv(3, 4).is_subset(iv(3, 4)));
+    }
+
+    #[test]
+    fn merge_handles_overlap_and_adjacency() {
+        assert_eq!(iv(1, 5).merge(iv(3, 9)), Some(iv(1, 9)));
+        assert_eq!(iv(1, 5).merge(iv(6, 9)), Some(iv(1, 9)));
+        assert_eq!(iv(1, 5).merge(iv(7, 9)), None);
+        assert_eq!(iv(7, 9).merge(iv(1, 5)), None);
+        assert_eq!(iv(1, 5).merge(Interval::EMPTY), Some(iv(1, 5)));
+        assert_eq!(Interval::EMPTY.merge(iv(1, 5)), Some(iv(1, 5)));
+    }
+
+    #[test]
+    fn difference_splits() {
+        assert_eq!(iv(1, 9).difference(iv(3, 5)), (iv(1, 2), iv(6, 9)));
+        assert_eq!(iv(1, 9).difference(iv(1, 5)), (Interval::EMPTY, iv(6, 9)));
+        assert_eq!(iv(1, 9).difference(iv(5, 9)), (iv(1, 4), Interval::EMPTY));
+        assert_eq!(
+            iv(1, 9).difference(iv(0, 20)),
+            (Interval::EMPTY, Interval::EMPTY)
+        );
+        assert_eq!(iv(1, 9).difference(iv(20, 30)), (iv(1, 9), Interval::EMPTY));
+        assert_eq!(iv(0, 3).difference(iv(0, 0)), (Interval::EMPTY, iv(1, 3)));
+    }
+
+    #[test]
+    fn instants_iterator() {
+        let v: Vec<u64> = iv(3, 6).instants().map(Instant::ticks).collect();
+        assert_eq!(v, vec![3, 4, 5, 6]);
+        assert_eq!(Interval::EMPTY.instants().count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(3, 6).to_string(), "[3,6]");
+        assert_eq!(Interval::EMPTY.to_string(), "[]");
+    }
+}

@@ -1,0 +1,319 @@
+//! Canonical sets of disjoint time intervals.
+
+use std::fmt;
+
+use crate::{Instant, Interval};
+
+/// A set of time instants represented as sorted, disjoint, non-adjacent
+/// intervals — the paper's "set of disjoint intervals … as a compact
+/// notation for the set of time instants included in these intervals"
+/// (Section 3.2).
+///
+/// The representation is canonical: intervals are sorted by lower endpoint,
+/// pairwise disjoint, and never adjacent (adjacent intervals are merged on
+/// construction), so structural equality coincides with set equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntervalSet {
+    /// Canonical: sorted, disjoint, non-adjacent, no empty members.
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set of instants.
+    #[must_use]
+    pub fn empty() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// The set containing exactly the instants of `iv`.
+    #[must_use]
+    pub fn from_interval(iv: Interval) -> IntervalSet {
+        let mut s = IntervalSet::empty();
+        s.insert(iv);
+        s
+    }
+
+    /// Build from arbitrary intervals, normalizing to canonical form.
+    #[must_use]
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(ivs: I) -> IntervalSet {
+        let mut s = IntervalSet::empty();
+        for iv in ivs {
+            s.insert(iv);
+        }
+        s
+    }
+
+    /// `true` if the set contains no instants.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Number of maximal intervals in the canonical representation.
+    #[inline]
+    pub fn interval_count(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Total number of instants in the set.
+    pub fn instant_count(&self) -> u64 {
+        self.ivs.iter().map(|iv| iv.len()).sum()
+    }
+
+    /// The canonical maximal intervals, sorted.
+    #[inline]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Membership test `t ∈ S` (binary search, `O(log n)`).
+    pub fn contains(&self, t: Instant) -> bool {
+        self.ivs
+            .binary_search_by(|iv| {
+                let (lo, hi) = (iv.lo().unwrap(), iv.hi().unwrap());
+                if hi < t {
+                    std::cmp::Ordering::Less
+                } else if lo > t {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Insert all instants of `iv`, merging with overlapping/adjacent runs.
+    pub fn insert(&mut self, iv: Interval) {
+        if iv.is_empty() {
+            return;
+        }
+        // Locate the run of existing intervals mergeable with `iv`.
+        let start = self
+            .ivs
+            .partition_point(|e| !e.mergeable(iv) && e.hi().unwrap() < iv.lo().unwrap());
+        let mut end = start;
+        let mut merged = iv;
+        while end < self.ivs.len() && self.ivs[end].mergeable(merged) {
+            merged = merged.merge(self.ivs[end]).expect("mergeable");
+            end += 1;
+        }
+        self.ivs.splice(start..end, std::iter::once(merged));
+    }
+
+    /// Remove all instants of `iv` from the set.
+    pub fn remove(&mut self, iv: Interval) {
+        if iv.is_empty() || self.ivs.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        for &e in &self.ivs {
+            if !e.overlaps(iv) {
+                out.push(e);
+            } else {
+                let (l, r) = e.difference(iv);
+                if !l.is_empty() {
+                    out.push(l);
+                }
+                if !r.is_empty() {
+                    out.push(r);
+                }
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// Set union `S1 ∪ S2`.
+    #[must_use]
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        // Merge two sorted lists, then re-canonicalize by insertion.
+        let mut s = self.clone();
+        for &iv in &other.ivs {
+            s.insert(iv);
+        }
+        s
+    }
+
+    /// Set intersection `S1 ∩ S2` (linear two-pointer merge).
+    #[must_use]
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let x = self.ivs[i].intersect(other.ivs[j]);
+            if !x.is_empty() {
+                out.push(x);
+            }
+            if self.ivs[i].hi() <= other.ivs[j].hi() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set difference `S1 \ S2`.
+    #[must_use]
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut s = self.clone();
+        for &iv in &other.ivs {
+            s.remove(iv);
+        }
+        s
+    }
+
+    /// Inclusion test `self ⊆ other`.
+    pub fn is_subset(&self, other: &IntervalSet) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// `true` if the set is a single contiguous interval (or empty).
+    pub fn is_contiguous(&self) -> bool {
+        self.ivs.len() <= 1
+    }
+
+    /// The tightest single interval covering the whole set (null interval
+    /// for the empty set).
+    #[must_use]
+    pub fn span(&self) -> Interval {
+        match (self.ivs.first(), self.ivs.last()) {
+            (Some(f), Some(l)) => Interval::new(f.lo().unwrap(), l.hi().unwrap()),
+            _ => Interval::EMPTY,
+        }
+    }
+
+    /// Smallest instant in the set.
+    pub fn min(&self) -> Option<Instant> {
+        self.ivs.first().and_then(|iv| iv.lo())
+    }
+
+    /// Largest instant in the set.
+    pub fn max(&self) -> Option<Instant> {
+        self.ivs.last().and_then(|iv| iv.hi())
+    }
+
+    /// Iterate every instant of the set in increasing order.
+    pub fn instants(&self) -> impl Iterator<Item = Instant> + '_ {
+        self.ivs.iter().flat_map(|iv| iv.instants())
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(iv: Interval) -> Self {
+        IntervalSet::from_interval(iv)
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, iv) in self.ivs.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{iv:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::from_ticks(lo, hi)
+    }
+
+    fn set(pairs: &[(u64, u64)]) -> IntervalSet {
+        pairs.iter().map(|&(l, h)| iv(l, h)).collect()
+    }
+
+    #[test]
+    fn canonical_merging_on_insert() {
+        let s = set(&[(1, 3), (4, 6)]);
+        assert_eq!(s.intervals(), &[iv(1, 6)]);
+        let s = set(&[(1, 3), (5, 6)]);
+        assert_eq!(s.intervals(), &[iv(1, 3), iv(5, 6)]);
+        let s = set(&[(5, 6), (1, 3), (4, 4)]);
+        assert_eq!(s.intervals(), &[iv(1, 6)]);
+    }
+
+    #[test]
+    fn insert_merges_across_many() {
+        let mut s = set(&[(1, 2), (4, 5), (7, 8), (20, 30)]);
+        s.insert(iv(3, 10));
+        assert_eq!(s.intervals(), &[iv(1, 10), iv(20, 30)]);
+    }
+
+    #[test]
+    fn membership() {
+        let s = set(&[(1, 3), (7, 9)]);
+        assert!(s.contains(Instant(1)));
+        assert!(s.contains(Instant(3)));
+        assert!(s.contains(Instant(8)));
+        assert!(!s.contains(Instant(0)));
+        assert!(!s.contains(Instant(5)));
+        assert!(!s.contains(Instant(10)));
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = set(&[(1, 10)]);
+        s.remove(iv(4, 6));
+        assert_eq!(s.intervals(), &[iv(1, 3), iv(7, 10)]);
+        s.remove(iv(0, 100));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = set(&[(1, 5), (10, 15)]);
+        let b = set(&[(4, 11), (14, 20)]);
+        assert_eq!(a.union(&b), set(&[(1, 20)]));
+        assert_eq!(a.intersection(&b), set(&[(4, 5), (10, 11), (14, 15)]));
+        assert_eq!(a.difference(&b), set(&[(1, 3), (12, 13)]));
+        assert!(set(&[(2, 3)]).is_subset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(IntervalSet::empty().is_subset(&a));
+    }
+
+    #[test]
+    fn counts_and_span() {
+        let s = set(&[(1, 3), (7, 9)]);
+        assert_eq!(s.interval_count(), 2);
+        assert_eq!(s.instant_count(), 6);
+        assert_eq!(s.span(), iv(1, 9));
+        assert_eq!(s.min(), Some(Instant(1)));
+        assert_eq!(s.max(), Some(Instant(9)));
+        assert!(!s.is_contiguous());
+        assert!(set(&[(1, 3)]).is_contiguous());
+        assert!(IntervalSet::empty().is_contiguous());
+        assert_eq!(IntervalSet::empty().span(), Interval::EMPTY);
+    }
+
+    #[test]
+    fn instants_iteration() {
+        let s = set(&[(1, 2), (5, 6)]);
+        let v: Vec<u64> = s.instants().map(Instant::ticks).collect();
+        assert_eq!(v, vec![1, 2, 5, 6]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(set(&[(1, 2), (5, 6)]).to_string(), "{[1,2],[5,6]}");
+        assert_eq!(IntervalSet::empty().to_string(), "{}");
+    }
+}

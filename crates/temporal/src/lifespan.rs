@@ -1,0 +1,156 @@
+//! Lifespans of objects and classes.
+
+use std::fmt;
+
+use crate::{Instant, Interval, TimeBound};
+
+/// The lifespan of an object or class: a *contiguous* interval of instants,
+/// possibly still open at the moving `now`.
+///
+/// The paper associates a lifespan with each class (Definition 4.1) and each
+/// object (Definition 5.1) and assumes lifespans are contiguous — "as it
+/// does not make sense to recreate a class once it has been deleted"
+/// (Section 4); there is no *reincarnate* operation (Section 5.1).
+///
+/// A live entity has `end = TimeBound::Now`, so its lifespan keeps growing
+/// with the clock; terminating the entity fixes the end.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Lifespan {
+    start: Instant,
+    end: TimeBound,
+}
+
+impl Lifespan {
+    /// A lifespan starting at `start` and still open (alive).
+    #[must_use]
+    pub fn starting_at(start: Instant) -> Lifespan {
+        Lifespan {
+            start,
+            end: TimeBound::Now,
+        }
+    }
+
+    /// A closed lifespan `[start, end]`. Returns `None` when `end < start`.
+    #[must_use]
+    pub fn closed(start: Instant, end: Instant) -> Option<Lifespan> {
+        (start <= end).then_some(Lifespan {
+            start,
+            end: TimeBound::Fixed(end),
+        })
+    }
+
+    /// The birth instant.
+    #[inline]
+    pub fn start(self) -> Instant {
+        self.start
+    }
+
+    /// The end bound (fixed, or the moving `now` while alive).
+    #[inline]
+    pub fn end(self) -> TimeBound {
+        self.end
+    }
+
+    /// `true` while the lifespan is open at `now`.
+    #[inline]
+    pub fn is_alive(self) -> bool {
+        self.end.is_now()
+    }
+
+    /// Terminate the lifespan at instant `end`; returns the closed lifespan
+    /// or `None` if `end` precedes the start or it is already closed.
+    #[must_use]
+    pub fn terminated_at(self, end: Instant) -> Option<Lifespan> {
+        if !self.is_alive() {
+            return None;
+        }
+        Lifespan::closed(self.start, end)
+    }
+
+    /// Resolve to a concrete interval under the given clock.
+    ///
+    /// While alive, the lifespan is `[start, now]`; a lifespan "born in the
+    /// future" of the supplied clock resolves to the null interval.
+    #[must_use]
+    pub fn resolve(self, now: Instant) -> Interval {
+        Interval::new(self.start, self.end.resolve(now))
+    }
+
+    /// Membership test `t ∈ lifespan` under the given clock.
+    #[inline]
+    pub fn contains(self, t: Instant, now: Instant) -> bool {
+        self.resolve(now).contains(t)
+    }
+
+    /// Inclusion test under the given clock.
+    #[inline]
+    pub fn is_subset(self, other: Lifespan, now: Instant) -> bool {
+        self.resolve(now).is_subset(other.resolve(now))
+    }
+}
+
+impl fmt::Display for Lifespan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_lifespan_tracks_now() {
+        let l = Lifespan::starting_at(Instant(10));
+        assert!(l.is_alive());
+        assert_eq!(l.resolve(Instant(50)), Interval::from_ticks(10, 50));
+        assert_eq!(l.resolve(Instant(99)), Interval::from_ticks(10, 99));
+        assert!(l.contains(Instant(10), Instant(50)));
+        assert!(l.contains(Instant(50), Instant(50)));
+        assert!(!l.contains(Instant(51), Instant(50)));
+        assert!(!l.contains(Instant(9), Instant(50)));
+    }
+
+    #[test]
+    fn unborn_lifespan_is_empty() {
+        let l = Lifespan::starting_at(Instant(10));
+        assert!(l.resolve(Instant(5)).is_empty());
+        assert!(!l.contains(Instant(5), Instant(5)));
+    }
+
+    #[test]
+    fn termination() {
+        let l = Lifespan::starting_at(Instant(10));
+        let closed = l.terminated_at(Instant(20)).unwrap();
+        assert!(!closed.is_alive());
+        assert_eq!(closed.resolve(Instant(99)), Interval::from_ticks(10, 20));
+        // Terminating twice or before birth fails.
+        assert!(closed.terminated_at(Instant(30)).is_none());
+        assert!(l.terminated_at(Instant(5)).is_none());
+    }
+
+    #[test]
+    fn closed_constructor_validates() {
+        assert!(Lifespan::closed(Instant(5), Instant(3)).is_none());
+        let l = Lifespan::closed(Instant(3), Instant(5)).unwrap();
+        assert_eq!(l.start(), Instant(3));
+        assert_eq!(l.end(), TimeBound::Fixed(Instant(5)));
+    }
+
+    #[test]
+    fn subset_under_clock() {
+        let a = Lifespan::closed(Instant(5), Instant(10)).unwrap();
+        let b = Lifespan::starting_at(Instant(3));
+        assert!(a.is_subset(b, Instant(50)));
+        assert!(!b.is_subset(a, Instant(50)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Lifespan::starting_at(Instant(10)).to_string(), "[10,now]");
+        assert_eq!(
+            Lifespan::closed(Instant(1), Instant(2)).unwrap().to_string(),
+            "[1,2]"
+        );
+    }
+}

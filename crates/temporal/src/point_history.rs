@@ -1,0 +1,149 @@
+//! Naive per-instant history representation (benchmark baseline).
+
+use crate::{Instant, Interval, IntervalSet, TemporalValue};
+
+/// The naive representation of a temporal value: an explicit set of pairs
+/// `(t, f(t))`, one per instant of the domain.
+///
+/// Definition 3.5 first presents the value of a `temporal(T)` variable as a
+/// set of `(t, f(t))` pairs and then observes that "usually, the value of a
+/// variable of temporal type does not change at each instant. Therefore, its
+/// value can be represented more efficiently as a set of pairs
+/// `⟨interval, value⟩`". `PointHistory` *is* the unoptimized representation,
+/// kept as the baseline of experiment E4, which quantifies that efficiency
+/// claim against [`TemporalValue`].
+///
+/// The pairs are stored sorted by instant, so lookup is still `O(log n)` —
+/// the comparison isolates the representation-size effect (one entry per
+/// instant vs one entry per *run*), not an artificially slow lookup.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PointHistory<V> {
+    points: Vec<(Instant, V)>,
+}
+
+impl<V: Clone + Eq> PointHistory<V> {
+    /// The everywhere-undefined history.
+    #[must_use]
+    pub fn new() -> PointHistory<V> {
+        PointHistory { points: Vec::new() }
+    }
+
+    /// Record `f(t) = value` for every instant of `iv`, appending; instants
+    /// must be appended in increasing order (mirrors how histories grow).
+    ///
+    /// # Panics
+    /// Panics if `iv` starts at or before the last recorded instant.
+    pub fn append_run(&mut self, iv: Interval, value: V) {
+        let (Some(lo), Some(hi)) = (iv.lo(), iv.hi()) else {
+            return;
+        };
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(lo > last, "append_run must move forward in time");
+        }
+        self.points.reserve((hi.ticks() - lo.ticks() + 1) as usize);
+        for t in iv.instants() {
+            self.points.push((t, value.clone()));
+        }
+    }
+
+    /// The value at instant `t`.
+    pub fn value_at(&self, t: Instant) -> Option<&V> {
+        self.points
+            .binary_search_by_key(&t, |&(p, _)| p)
+            .ok()
+            .map(|i| &self.points[i].1)
+    }
+
+    /// The domain as an interval set (computed by scanning the points).
+    #[must_use]
+    pub fn domain(&self) -> IntervalSet {
+        self.points
+            .iter()
+            .map(|&(t, _)| Interval::point(t))
+            .collect()
+    }
+
+    /// Number of stored pairs (= number of instants in the domain).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nowhere defined.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Convert to the coalesced representation (fixed runs).
+    #[must_use]
+    pub fn to_temporal(&self) -> TemporalValue<V> {
+        let mut tv = TemporalValue::new();
+        let mut it = self.points.iter().peekable();
+        while let Some((start, v)) = it.next().cloned() {
+            let mut end = start;
+            while let Some(&&(t, ref nv)) = it.peek() {
+                if t == end.next() && nv == &v {
+                    end = t;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            tv.overwrite(Interval::new(start, end), v)
+                .expect("non-empty run");
+        }
+        tv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::from_ticks(lo, hi)
+    }
+
+    #[test]
+    fn stores_one_pair_per_instant() {
+        let mut h = PointHistory::new();
+        h.append_run(iv(1, 5), "a");
+        h.append_run(iv(6, 10), "b");
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.value_at(Instant(3)), Some(&"a"));
+        assert_eq!(h.value_at(Instant(6)), Some(&"b"));
+        assert_eq!(h.value_at(Instant(11)), None);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn round_trips_to_coalesced() {
+        let mut h = PointHistory::new();
+        h.append_run(iv(1, 5), 1i64);
+        h.append_run(iv(6, 10), 1);
+        h.append_run(iv(20, 22), 2);
+        let tv = h.to_temporal();
+        assert_eq!(tv.run_count(), 2); // [1,10]→1 coalesced, [20,22]→2
+        let now = Instant(99);
+        assert_eq!(tv.value_at(Instant(7), now), Some(&1));
+        assert_eq!(tv.value_at(Instant(21), now), Some(&2));
+        assert_eq!(h.domain(), tv.domain(now));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in time")]
+    fn append_must_advance() {
+        let mut h = PointHistory::new();
+        h.append_run(iv(5, 9), 1i64);
+        h.append_run(iv(9, 12), 2);
+    }
+
+    #[test]
+    fn empty_interval_ignored() {
+        let mut h: PointHistory<i64> = PointHistory::new();
+        h.append_run(Interval::EMPTY, 1);
+        assert!(h.is_empty());
+        assert!(h.domain().is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Bitemporal queries: valid time × transaction time.
+//!
+//! The paper's model records **valid time** (Table 1: one linear
+//! valid-time dimension) and notes it "can be easily extended to
+//! different notions of time". The storage engine's operation log is
+//! precisely the **transaction-time** axis — the ordered record of what
+//! was stored when — so combining `state_at_op` (transaction-time travel)
+//! with the model's own `attr_at` (valid-time travel) yields bitemporal
+//! reads: *"what did we believe at transaction k the value was at valid
+//! instant t?"*
+//!
+//! The classic scenario: a salary is recorded late and the record
+//! *retroactively* corrects our knowledge of the past — valid-time
+//! history changes across transactions, while each transaction's view is
+//! immutable.
+//!
+//! Run with `cargo run --example bitemporal`.
+
+use tchimera_core::{attrs, ClassDef, ClassId, Instant, TemporalValue, Type, Value};
+use tchimera_storage::PersistentDatabase;
+
+fn main() {
+    let log = std::env::temp_dir().join(format!("tchimera-bitemporal-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log);
+    let mut db = PersistentDatabase::open(&log).expect("open");
+
+    db.define_class(
+        ClassDef::new("employee").attr("salary", Type::temporal(Type::INTEGER)),
+    )
+    .unwrap();
+
+    // Transaction 2-3 (t=10): Ann hired at salary 1000.
+    db.advance_to(Instant(10)).unwrap();
+    let ann = db
+        .create_object(&ClassId::from("employee"), attrs([("salary", Value::Int(1000))]))
+        .unwrap();
+
+    // Transaction 4-5 (t=30): a raise is recorded *normally*.
+    db.advance_to(Instant(30)).unwrap();
+    db.set_attr(ann, &"salary".into(), Value::Int(1200)).unwrap();
+
+    // Transaction 6-7 (t=50): HR discovers the raise had been effective
+    // since t=20 and loads the corrected history wholesale (a bulk load
+    // through an explicit temporal value — the only way to touch the
+    // past, and it is itself a logged transaction).
+    db.advance_to(Instant(50)).unwrap();
+    let corrected = TemporalValue::from_pairs([
+        (tchimera_core::Interval::from_ticks(10, 19), Value::Int(1000)),
+        (tchimera_core::Interval::from_ticks(20, 49), Value::Int(1200)),
+    ])
+    .unwrap();
+    // Terminate the stale record and recreate with the corrected history
+    // (oid changes; in a production system a dedicated correction op
+    // would keep it — the log still ties both to the same real entity).
+    db.terminate_object(ann).unwrap();
+    let ann2 = db
+        .create_object(
+            &ClassId::from("employee"),
+            attrs([("salary", Value::Temporal(corrected))]),
+        )
+        .unwrap();
+    db.sync().unwrap();
+
+    println!("transaction log holds {} operations\n", db.op_count());
+    println!("valid t=25 salary, as believed at each transaction:");
+    for k in 0..=db.op_count() {
+        let past = db.state_at_op(k).unwrap();
+        // The corrected record (ann2) supersedes the stale one once it
+        // exists in that transaction's view.
+        let believed = past
+            .object(ann2)
+            .ok()
+            .map(|_| past.attr_at(ann2, &"salary".into(), Instant(25)).unwrap())
+            .or_else(|| {
+                past.object(ann)
+                    .ok()
+                    .map(|_| past.attr_at(ann, &"salary".into(), Instant(25)).unwrap())
+            })
+            .filter(|v| !v.is_null());
+        match believed {
+            Some(v) => println!("  after tx {k}: salary(valid 25) = {v}"),
+            None => println!("  after tx {k}: unknown (not yet recorded)"),
+        }
+    }
+
+    // The final belief: the correction is visible at valid time 25…
+    assert_eq!(
+        db.db().attr_at(ann2, &"salary".into(), Instant(25)).unwrap(),
+        Value::Int(1200)
+    );
+    // …while the belief *at transaction 5* (before the correction) was
+    // still 1000.
+    let tx5 = db.state_at_op(5).unwrap();
+    assert_eq!(
+        tx5.attr_at(ann, &"salary".into(), Instant(25)).unwrap(),
+        Value::Int(1000)
+    );
+    println!("\nbitemporal read: tx5 believed 1000; head believes 1200 — both reproducible");
+    std::fs::remove_file(&log).ok();
+}

@@ -1,0 +1,161 @@
+//! The paper's running example, executed end to end: the `project` class
+//! of Example 4.1, the object `i1` of Example 5.1, the derived states of
+//! Example 5.2, the consistency conditions of Example 5.3 and the equality
+//! notions of Example 5.4.
+//!
+//! Run with `cargo run --example project_management`.
+
+use tchimera_core::{attrs, Attrs, ClassDef, ClassId, Database, Instant, Type, Value};
+
+fn main() {
+    let mut db = Database::new();
+
+    // Supporting classes.
+    db.define_class(ClassDef::new("task")).unwrap();
+    db.define_class(ClassDef::new("person")).unwrap();
+
+    // Example 4.1 — the class `project`:
+    //   name:         temporal(string), immutable during the lifetime
+    //   objective:    string            (static: changes not recorded)
+    //   workplan:     set-of(task)      (static)
+    //   subproject:   temporal(project)
+    //   participants: temporal(set-of(person))
+    //   method add-participant: person → project
+    //   c-attribute average-participants: integer  (⇒ the class is static)
+    db.define_class(
+        ClassDef::new("project")
+            .immutable_attr("name", Type::temporal(Type::STRING))
+            .attr("objective", Type::STRING)
+            .attr("workplan", Type::set_of(Type::object("task")))
+            .attr("subproject", Type::temporal(Type::object("project")))
+            .attr(
+                "participants",
+                Type::temporal(Type::set_of(Type::object("person"))),
+            )
+            .method(
+                "add-participant",
+                [Type::object("person")],
+                Type::object("project"),
+            )
+            .c_attr("average-participants", Type::INTEGER),
+    )
+    .unwrap();
+
+    let project = ClassId::from("project");
+    let cls = db.class(&project).unwrap();
+    println!("class {} is {:?} (its only c-attribute is static)", cls.id, cls.kind);
+    // Example 4.2 — the three types associated with the class.
+    println!("type(project)   = {}", cls.structural_type());
+    println!("h_type(project) = {}", cls.historical_type().unwrap());
+    println!("s_type(project) = {}\n", cls.static_type().unwrap());
+
+    // Populate the supporting objects used by Example 5.1 (i2, i3, i4,
+    // i7, i8, i9 — created earlier so the reference intervals type-check,
+    // cf. Example 5.3's conditions).
+    db.advance_to(Instant(10)).unwrap();
+    let i7 = db.create_object(&ClassId::from("task"), Attrs::new()).unwrap();
+    let i2 = db.create_object(&ClassId::from("person"), Attrs::new()).unwrap();
+    let i3 = db.create_object(&ClassId::from("person"), Attrs::new()).unwrap();
+    let i8 = db.create_object(&ClassId::from("person"), Attrs::new()).unwrap();
+    let i4 = db
+        .create_object(&project, attrs([("name", Value::str("SUB-4"))]))
+        .unwrap();
+    let i9 = db
+        .create_object(&project, attrs([("name", Value::str("SUB-9"))]))
+        .unwrap();
+
+    // Example 5.1 — the project IDEA, created at t=20.
+    db.advance_to(Instant(20)).unwrap();
+    let i1 = db
+        .create_object(
+            &project,
+            attrs([
+                ("name", Value::str("IDEA")),
+                ("objective", Value::str("Implementation")),
+                ("workplan", Value::set([Value::Oid(i7)])),
+                ("subproject", Value::Oid(i4)),
+                ("participants", Value::set([Value::Oid(i2), Value::Oid(i3)])),
+            ]),
+        )
+        .unwrap();
+
+    // History of Example 5.1: subproject switches i4 → i9 at 46,
+    // participants gain i8 at 81.
+    db.advance_to(Instant(46)).unwrap();
+    db.set_attr(i1, &"subproject".into(), Value::Oid(i9)).unwrap();
+    db.advance_to(Instant(81)).unwrap();
+    db.set_attr(
+        i1,
+        &"participants".into(),
+        Value::set([Value::Oid(i2), Value::Oid(i3), Value::Oid(i8)]),
+    )
+    .unwrap();
+    db.advance_to(Instant(100)).unwrap();
+
+    let o = db.object(i1).unwrap();
+    println!("object {} lifespan {}", o.oid, o.lifespan);
+    for (name, v) in &o.attrs {
+        println!("  {name} = {v}");
+    }
+    println!("  class-history = {:?}\n", o.class_history);
+
+    // Example 5.2 — derived states.
+    println!("s_state(i1)     = {}", db.s_state(i1).unwrap());
+    println!("h_state(i1, 50) = {}", db.h_state(i1, Instant(50)).unwrap());
+    // The snapshot at now merges both; in the past it is undefined
+    // because i1 has static attributes (Section 5.3).
+    println!("snapshot(i1, now) = {}", db.snapshot(i1, db.now()).unwrap());
+    println!(
+        "snapshot(i1, 50) is undefined: {}\n",
+        db.snapshot(i1, Instant(50)).unwrap_err()
+    );
+
+    // Example 5.3 — the object is a consistent instance of its class.
+    let report = db.check_object(i1).unwrap();
+    assert!(report.is_consistent());
+    println!("i1 is a consistent instance of `project` (Definition 5.5)");
+    assert!(db.check_database().is_consistent());
+    println!("the database is a consistent set of objects (Definition 5.6)\n");
+
+    // The immutable attribute rejects modification.
+    db.tick();
+    let err = db.set_attr(i1, &"name".into(), Value::str("IDEA-2")).unwrap_err();
+    println!("renaming the project fails: {err}\n");
+
+    // Example 5.4 — equality notions: a clone of IDEA's *current* state
+    // with a different history is instantaneous- but not value-equal.
+    let twin = db
+        .create_object(
+            &project,
+            attrs([
+                ("name", Value::str("IDEA")),
+                ("objective", Value::str("Implementation")),
+                ("workplan", Value::set([Value::Oid(i7)])),
+                ("subproject", Value::Oid(i9)),
+                (
+                    "participants",
+                    Value::set([Value::Oid(i2), Value::Oid(i3), Value::Oid(i8)]),
+                ),
+            ]),
+        )
+        .unwrap();
+    println!("created twin {twin} with IDEA's current state but no history");
+    println!("value equal?         {}", db.eq_value(i1, twin).unwrap());
+    println!(
+        "instantaneous equal? {:?}",
+        db.eq_instantaneous(i1, twin).unwrap()
+    );
+    println!("weakly equal?        {:?}", db.eq_weak(i1, twin).unwrap());
+    println!(
+        "strongest equality:  {:?}",
+        db.strongest_equality(i1, twin).unwrap()
+    );
+
+    // The c-attribute of Example 4.1.
+    db.set_c_attr(&project, &"average-participants".into(), Value::Int(20))
+        .unwrap();
+    println!(
+        "\nc-attribute average-participants = {}",
+        db.c_attr(&project, &"average-participants".into()).unwrap()
+    );
+}
