@@ -1,0 +1,101 @@
+//! **E12 — indexed extents & parallel consistency.**
+//!
+//! Scaling study of the time-sorted extent index (`π(c, t)` indexed vs
+//! linear scan, at 1k/10k/100k objects) and of the parallel database
+//! checker (`check_database` vs `check_database_serial`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tchimera_bench::staff_db;
+use tchimera_core::{ClassId, Instant};
+
+/// Population sizes for the π scaling study. The 100k point is the
+/// headline; the smaller ones show the crossover.
+const PI_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn bench_pi(c: &mut Criterion) {
+    let employee = ClassId::from("employee");
+    let mut g = c.benchmark_group("E12/pi");
+    g.sample_size(10);
+    for &n in &PI_SIZES {
+        // Few updates: attribute histories are irrelevant to extents.
+        let db = staff_db(n, 2, 42);
+        let class = db.class(&employee).unwrap();
+        let now = db.now();
+        // Mid-history instant: the general indexed path (checkpoint +
+        // replay), not the current-set fast path.
+        let mid = Instant(12);
+        g.bench_with_input(
+            BenchmarkId::new("indexed", format!("objects={n}")),
+            &(),
+            |b, ()| b.iter(|| class.ext_at(mid, now)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scan", format!("objects={n}")),
+            &(),
+            |b, ()| b.iter(|| class.ext_at_scan(mid, now)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("indexed-now", format!("objects={n}")),
+            &(),
+            |b, ()| b.iter(|| class.ext_at(now, now)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_check_database(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E12/check_database");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let db = staff_db(n, 10, 42);
+        g.bench_with_input(
+            BenchmarkId::new("parallel", format!("objects={n}")),
+            &(),
+            |b, ()| b.iter(|| db.check_database()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("serial", format!("objects={n}")),
+            &(),
+            |b, ()| b.iter(|| db.check_database_serial()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_mutation_checks(c: &mut Criterion) {
+    // The O(affected) post-mutation checks against the full-database
+    // scans they replace.
+    let mut g = c.benchmark_group("E12/incremental_checks");
+    let db = staff_db(10_000, 2, 42);
+    let some_oid = tchimera_core::Oid(17);
+    g.bench_with_input(BenchmarkId::from_parameter("check_object_refs"), &(), |b, ()| {
+        b.iter(|| db.check_object_refs(some_oid).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("check_refs_to"), &(), |b, ()| {
+        b.iter(|| db.check_refs_to(some_oid))
+    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("check_referential_integrity"),
+        &(),
+        |b, ()| b.iter(|| db.check_referential_integrity()),
+    );
+    g.finish();
+}
+
+/// Criterion configuration tuned so the whole suite finishes in
+/// minutes: fewer samples and shorter windows than the defaults, still
+/// plenty for the stable workloads measured here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_pi, bench_check_database, bench_single_mutation_checks
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Standalone scaling study of the indexed extent & consistency engine,
+//! emitting machine-readable `BENCH_extent.json`.
+//!
+//! ```text
+//! cargo run --release -p tchimera-bench --bin extent            # full
+//! cargo run --release -p tchimera-bench --bin extent -- --quick # small sizes
+//! ```
+//!
+//! Measures, per population size:
+//!
+//! * `π(c, t)` through the time-sorted extent index vs the linear scan
+//!   baseline, at a mid-history instant (general path) and at `now`
+//!   (current-set fast path);
+//! * `check_database()` (parallel when built with the default `rayon`
+//!   feature) vs `check_database_serial()`.
+
+use tchimera_bench::{fmt_ns, staff_db, time_ns};
+use tchimera_core::{ClassId, Instant};
+
+struct PiRow {
+    n: usize,
+    indexed_mid_ns: f64,
+    indexed_now_ns: f64,
+    scan_mid_ns: f64,
+    scan_now_ns: f64,
+}
+
+struct CheckRow {
+    n: usize,
+    parallel_ns: f64,
+    serial_ns: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let pi_sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let check_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000] };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("# E12 — indexed extents & parallel consistency\n");
+    println!("threads available: {threads}\n");
+
+    let mut pi_rows = Vec::new();
+    println!("| objects | π(c,t) indexed (mid) | π(c,t) scan (mid) | speedup | indexed (now) | scan (now) |");
+    println!("|---|---|---|---|---|---|");
+    for &n in pi_sizes {
+        let db = staff_db(n, 2, 42);
+        let employee = ClassId::from("employee");
+        let class = db.class(&employee).unwrap();
+        let now = db.now();
+        let mid = Instant(12);
+        let reps = if n >= 100_000 { 11 } else { 31 };
+        let row = PiRow {
+            n,
+            indexed_mid_ns: time_ns(reps, || class.ext_at(mid, now)),
+            indexed_now_ns: time_ns(reps, || class.ext_at(now, now)),
+            scan_mid_ns: time_ns(reps, || class.ext_at_scan(mid, now)),
+            scan_now_ns: time_ns(reps, || class.ext_at_scan(now, now)),
+        };
+        println!(
+            "| {} | {} | {} | {:.1}× | {} | {} |",
+            row.n,
+            fmt_ns(row.indexed_mid_ns),
+            fmt_ns(row.scan_mid_ns),
+            row.scan_mid_ns / row.indexed_mid_ns,
+            fmt_ns(row.indexed_now_ns),
+            fmt_ns(row.scan_now_ns),
+        );
+        pi_rows.push(row);
+    }
+
+    let mut check_rows = Vec::new();
+    println!("\n| objects | check_database (default) | check_database_serial | speedup |");
+    println!("|---|---|---|---|");
+    for &n in check_sizes {
+        let db = staff_db(n, 10, 42);
+        let reps = if n >= 10_000 { 5 } else { 11 };
+        let row = CheckRow {
+            n,
+            parallel_ns: time_ns(reps, || db.check_database()),
+            serial_ns: time_ns(reps, || db.check_database_serial()),
+        };
+        println!(
+            "| {} | {} | {} | {:.2}× |",
+            row.n,
+            fmt_ns(row.parallel_ns),
+            fmt_ns(row.serial_ns),
+            row.serial_ns / row.parallel_ns,
+        );
+        check_rows.push(row);
+    }
+
+    // Hand-rolled JSON (no serde in the tree): flat and stable.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"pi\": [\n");
+    for (k, r) in pi_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"objects\": {}, \"indexed_mid_ns\": {:.0}, \"scan_mid_ns\": {:.0}, \"speedup_mid\": {:.2}, \"indexed_now_ns\": {:.0}, \"scan_now_ns\": {:.0}, \"speedup_now\": {:.2}}}{}\n",
+            r.n,
+            r.indexed_mid_ns,
+            r.scan_mid_ns,
+            r.scan_mid_ns / r.indexed_mid_ns,
+            r.indexed_now_ns,
+            r.scan_now_ns,
+            r.scan_now_ns / r.indexed_now_ns,
+            if k + 1 < pi_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"check_database\": [\n");
+    for (k, r) in check_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"objects\": {}, \"parallel_ns\": {:.0}, \"serial_ns\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.n,
+            r.parallel_ns,
+            r.serial_ns,
+            r.serial_ns / r.parallel_ns,
+            if k + 1 < check_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_extent.json", &json).expect("write BENCH_extent.json");
+    println!("\nwrote BENCH_extent.json");
+}

@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E11) and prints them as Markdown.
+//! (E1–E12) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -53,6 +53,9 @@ fn main() {
     }
     if want("E11") {
         e11_storage();
+    }
+    if want("E12") {
+        e12_extent_index();
     }
 }
 
@@ -490,5 +493,58 @@ fn e11_storage() {
             fmt_ns(build)
         );
     }
+    println!();
+}
+
+fn e12_extent_index() {
+    header(
+        "E12",
+        "Indexed extents & parallel consistency (time-sorted extent index)",
+    );
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("(threads available: {threads})\n");
+    let employee = ClassId::from("employee");
+    println!("| objects | π(c,t) indexed | π(c,t) scan | speedup |");
+    println!("|---|---|---|---|");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let db = staff_db(n, 2, 42);
+        let class = db.class(&employee).unwrap();
+        let now = db.now();
+        let mid = Instant(12);
+        let reps = if n >= 100_000 { 11 } else { 31 };
+        let indexed = time_ns(reps, || class.ext_at(mid, now));
+        let scan = time_ns(reps, || class.ext_at_scan(mid, now));
+        println!(
+            "| {n} | {} | {} | {:.1}× |",
+            fmt_ns(indexed),
+            fmt_ns(scan),
+            scan / indexed
+        );
+    }
+    println!("\n| objects | check_database (parallel by default) | check_database_serial |");
+    println!("|---|---|---|");
+    for &n in &[1_000usize, 10_000] {
+        let db = staff_db(n, 10, 42);
+        let reps = if n >= 10_000 { 5 } else { 11 };
+        let par = time_ns(reps, || db.check_database());
+        let ser = time_ns(reps, || db.check_database_serial());
+        println!("| {n} | {} | {} |", fmt_ns(par), fmt_ns(ser));
+    }
+    println!("\n| single-mutation check (10k objects) | time |");
+    println!("|---|---|");
+    let db = staff_db(10_000, 2, 42);
+    let some_oid = Oid(17);
+    row(
+        "check_object_refs (outgoing)",
+        time_ns(51, || db.check_object_refs(some_oid).unwrap()),
+    );
+    row(
+        "check_refs_to (incoming, via reverse index)",
+        time_ns(51, || db.check_refs_to(some_oid)),
+    );
+    row(
+        "check_referential_integrity (whole database)",
+        time_ns(11, || db.check_referential_integrity()),
+    );
     println!();
 }

@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use tchimera_temporal::{Instant, IntervalSet, Lifespan, TemporalValue};
 
+use crate::extent_index::Membership;
 use crate::ident::{AttrName, ClassId, MethodName, Oid};
 use crate::types::Type;
 use crate::value::Value;
@@ -238,10 +239,11 @@ pub struct Class {
     /// ISA connected-component id; Invariant 6.2 keeps components' object
     /// populations disjoint.
     pub hierarchy: u32,
-    /// Membership history per oid (the `ext` temporal attribute).
-    pub(crate) ext: HashMap<Oid, TemporalValue<()>>,
-    /// Instance-of (most specific class) history per oid (`proper-ext`).
-    pub(crate) proper_ext: HashMap<Oid, TemporalValue<()>>,
+    /// Membership store (the `ext` temporal attribute): per-oid histories
+    /// plus the time-sorted extent index.
+    pub(crate) ext: Membership,
+    /// Instance-of (most specific class) store (`proper-ext`).
+    pub(crate) proper_ext: Membership,
 }
 
 impl Class {
@@ -290,31 +292,48 @@ impl Class {
     /// The extent of the class at instant `t`: the oids of objects members
     /// (instances of the class or of any subclass) at `t`. This is the
     /// paper's `C.history.ext(t)` and the basis of the function `π`
-    /// (Section 3.2).
+    /// (Section 3.2). Answered from the time-sorted extent index in
+    /// `O(log events + replay)` instead of scanning every membership
+    /// history; [`Class::ext_at_scan`] is the linear reference.
     #[must_use]
     pub fn ext_at(&self, t: Instant, now: Instant) -> Vec<Oid> {
-        let mut v: Vec<Oid> = self
-            .ext
-            .iter()
-            .filter(|(_, h)| h.is_defined_at(t, now))
-            .map(|(&i, _)| i)
-            .collect();
-        v.sort();
-        v
+        self.ext.members_at(t, now)
+    }
+
+    /// Reference implementation of [`Class::ext_at`]: a linear scan over
+    /// every per-oid membership history. Kept public as the equivalence
+    /// baseline for property tests and benchmarks.
+    #[must_use]
+    pub fn ext_at_scan(&self, t: Instant, now: Instant) -> Vec<Oid> {
+        self.ext.members_at_scan(t, now)
     }
 
     /// The proper extent at instant `t`: oids of objects *instances* of the
     /// class (most specific class) at `t` — `C.history.proper-ext(t)`.
+    /// Indexed like [`Class::ext_at`].
     #[must_use]
     pub fn proper_ext_at(&self, t: Instant, now: Instant) -> Vec<Oid> {
-        let mut v: Vec<Oid> = self
-            .proper_ext
-            .iter()
-            .filter(|(_, h)| h.is_defined_at(t, now))
-            .map(|(&i, _)| i)
-            .collect();
-        v.sort();
-        v
+        self.proper_ext.members_at(t, now)
+    }
+
+    /// Reference implementation of [`Class::proper_ext_at`] (linear scan).
+    #[must_use]
+    pub fn proper_ext_at_scan(&self, t: Instant, now: Instant) -> Vec<Oid> {
+        self.proper_ext.members_at_scan(t, now)
+    }
+
+    /// The oids members of the class at *some* instant of `[lo, hi]`
+    /// (the query language's `DURING` window), answered from the extent
+    /// index without scanning every membership history.
+    #[must_use]
+    pub fn ext_during(&self, lo: Instant, hi: Instant, now: Instant) -> Vec<Oid> {
+        self.ext.members_during(lo, hi, now)
+    }
+
+    /// Reference implementation of [`Class::ext_during`] (linear scan).
+    #[must_use]
+    pub fn ext_during_scan(&self, lo: Instant, hi: Instant, now: Instant) -> Vec<Oid> {
+        self.ext.members_during_scan(lo, hi, now)
     }
 
     /// The membership period of `i` in this class — the function
@@ -323,7 +342,7 @@ impl Class {
     #[must_use]
     pub fn membership_of(&self, i: Oid, now: Instant) -> IntervalSet {
         self.ext
-            .get(&i)
+            .history_of(i)
             .map(|h| h.domain(now))
             .unwrap_or_default()
     }
@@ -332,14 +351,14 @@ impl Class {
     #[must_use]
     pub fn proper_membership_of(&self, i: Oid, now: Instant) -> IntervalSet {
         self.proper_ext
-            .get(&i)
+            .history_of(i)
             .map(|h| h.domain(now))
             .unwrap_or_default()
     }
 
     /// All oids that have ever been members.
     pub fn ever_members(&self) -> impl Iterator<Item = Oid> + '_ {
-        self.ext.keys().copied()
+        self.ext.oids()
     }
 
     /// The class **history** record of Definition 4.1, resolved under the
@@ -358,10 +377,13 @@ impl Class {
             .iter()
             .map(|(n, v)| (n.clone(), v.clone()))
             .collect();
-        fields.push((AttrName::from("ext"), membership_history(&self.ext, now)));
+        fields.push((
+            AttrName::from("ext"),
+            membership_history(self.ext.histories(), now),
+        ));
         fields.push((
             AttrName::from("proper-ext"),
-            membership_history(&self.proper_ext, now),
+            membership_history(self.proper_ext.histories(), now),
         ));
         Value::record(fields)
     }

@@ -7,6 +7,7 @@ use tchimera_temporal::{Instant, Interval, IntervalSet};
 use crate::database::Database;
 use crate::error::Result;
 use crate::ident::{AttrName, ClassId, Oid};
+use crate::object::Object;
 use crate::value::Value;
 
 /// A single consistency violation, with enough context to locate it.
@@ -290,6 +291,108 @@ impl Database {
         Ok(report)
     }
 
+    /// The outgoing-reference check of one object: every oid held in its
+    /// state must identify an object alive at the reference instants.
+    /// With `only = Some(target)`, references to other oids are skipped —
+    /// the `O(affected)` path used after a single mutation.
+    fn check_refs_of_into(
+        &self,
+        o: &Object,
+        only: Option<Oid>,
+        report: &mut ConsistencyReport,
+    ) {
+        let now = self.now();
+        // Static references: checked at now (while the holder lives).
+        if o.lifespan.is_alive() {
+            let mut static_refs = Vec::new();
+            for v in o.attrs.values() {
+                if !matches!(v, Value::Temporal(_)) {
+                    v.all_oids(&mut static_refs);
+                }
+            }
+            static_refs.sort();
+            static_refs.dedup();
+            for target in static_refs {
+                if only.is_some_and(|t| t != target) {
+                    continue;
+                }
+                let ok = self
+                    .object(target)
+                    .map(|t| t.lifespan.contains(now, now))
+                    .unwrap_or(false);
+                if !ok {
+                    report.errors.push(ConsistencyError::DanglingReference {
+                        oid: o.oid,
+                        target,
+                        when: IntervalSet::from_interval(Interval::point(now)),
+                    });
+                }
+            }
+        }
+        // Temporal references: every run's referenced oids must exist
+        // throughout the run.
+        for v in o.attrs.values() {
+            let Some(h) = v.as_temporal() else { continue };
+            for run in h.entries() {
+                let iv = run.interval(now);
+                if iv.is_empty() {
+                    continue;
+                }
+                let mut refs = Vec::new();
+                run.value.all_oids(&mut refs);
+                refs.sort();
+                refs.dedup();
+                for target in refs {
+                    if only.is_some_and(|t| t != target) {
+                        continue;
+                    }
+                    let alive: IntervalSet = self
+                        .object(target)
+                        .map(|t| t.lifespan.resolve(now).into())
+                        .unwrap_or_default();
+                    // Fast path: a single binary search settles the
+                    // (overwhelmingly common) all-covered case.
+                    if alive.covers_interval(iv) {
+                        continue;
+                    }
+                    let missing = IntervalSet::from(iv).difference(&alive);
+                    if !missing.is_empty() {
+                        report.errors.push(ConsistencyError::DanglingReference {
+                            oid: o.oid,
+                            target,
+                            when: missing,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The outgoing references of a single object (its contribution to
+    /// REFERENTIAL INTEGRITY, Definition 5.6). `O(object)`, independent
+    /// of the database size — the check to run after `create_object`,
+    /// `set_attr` or `migrate` of `oid`.
+    pub fn check_object_refs(&self, oid: Oid) -> Result<ConsistencyReport> {
+        let o = self.object(oid)?;
+        let mut report = ConsistencyReport::default();
+        self.check_refs_of_into(o, None, &mut report);
+        Ok(report)
+    }
+
+    /// The *incoming* references of `target`: every reference to it held
+    /// by any object, located through the reverse-reference index in
+    /// `O(referrers)` instead of a database scan — the check to run after
+    /// `terminate_object(target)`.
+    pub fn check_refs_to(&self, target: Oid) -> ConsistencyReport {
+        let mut report = ConsistencyReport::default();
+        for referrer in self.referrers_of(target) {
+            if let Ok(o) = self.object(referrer) {
+                self.check_refs_of_into(o, Some(target), &mut report);
+            }
+        }
+        report
+    }
+
     /// **Consistent set of objects** (Definition 5.6) over the whole
     /// database:
     ///
@@ -300,101 +403,110 @@ impl Database {
     ///   every oid in `ref(o.i, t)` must identify an object whose lifespan
     ///   contains `t`. Temporal references are checked run-algebraically;
     ///   static references are checked at `now`.
+    ///
+    /// Objects are checked in parallel when the `rayon` feature (default)
+    /// is enabled; errors are reported in oid order either way.
     pub fn check_referential_integrity(&self) -> ConsistencyReport {
-        let now = self.now();
+        let objs: Vec<&Object> = self.objects().collect();
         let mut report = ConsistencyReport::default();
-        for o in self.objects() {
-            // Static references: checked at now (while the holder lives).
-            if o.lifespan.is_alive() {
-                let mut static_refs = Vec::new();
-                for v in o.attrs.values() {
-                    if !matches!(v, Value::Temporal(_)) {
-                        v.all_oids(&mut static_refs);
-                    }
-                }
-                static_refs.sort();
-                static_refs.dedup();
-                for target in static_refs {
-                    let ok = self
-                        .object(target)
-                        .map(|t| t.lifespan.contains(now, now))
-                        .unwrap_or(false);
-                    if !ok {
-                        report.errors.push(ConsistencyError::DanglingReference {
-                            oid: o.oid,
-                            target,
-                            when: IntervalSet::from_interval(Interval::point(now)),
-                        });
-                    }
-                }
-            }
-            // Temporal references: every run's referenced oids must exist
-            // throughout the run.
-            for v in o.attrs.values() {
-                let Some(h) = v.as_temporal() else { continue };
-                for run in h.entries() {
-                    let iv = run.interval(now);
-                    if iv.is_empty() {
-                        continue;
-                    }
-                    let mut refs = Vec::new();
-                    run.value.all_oids(&mut refs);
-                    refs.sort();
-                    refs.dedup();
-                    for target in refs {
-                        let alive: IntervalSet = self
-                            .object(target)
-                            .map(|t| t.lifespan.resolve(now).into())
-                            .unwrap_or_default();
-                        let missing = IntervalSet::from(iv).difference(&alive);
-                        if !missing.is_empty() {
-                            report.errors.push(ConsistencyError::DanglingReference {
-                                oid: o.oid,
-                                target,
-                                when: missing,
-                            });
-                        }
-                    }
-                }
-            }
+        for r in map_items(&objs, |o| {
+            let mut r = ConsistencyReport::default();
+            self.check_refs_of_into(o, None, &mut r);
+            r
+        }) {
+            report.errors.extend(r.errors);
         }
         report
     }
 
     /// Check every object plus referential integrity: the database-wide
     /// consistency notion combining Definitions 5.5 and 5.6.
+    ///
+    /// The per-object work (Definition 5.5 is independent across objects,
+    /// and so is each object's outgoing-reference contribution to
+    /// Definition 5.6) fans out across all cores when the `rayon` feature
+    /// (default) is enabled. The report is identical — same errors, same
+    /// order — to [`Database::check_database_serial`].
     pub fn check_database(&self) -> ConsistencyReport {
+        let objs: Vec<&Object> = self.objects().collect();
+        // One fan-out computes both halves per object while its data is
+        // hot; the reports are then stitched back in the serial order
+        // (every object error, then every referential error).
+        let pairs = map_items(&objs, |o| {
+            let mut refs = ConsistencyReport::default();
+            self.check_refs_of_into(o, None, &mut refs);
+            (self.check_object(o.oid).unwrap_or_default(), refs)
+        });
+        let mut report = ConsistencyReport::default();
+        for (obj, _) in &pairs {
+            report.errors.extend_from_slice(&obj.errors);
+        }
+        for (_, refs) in pairs {
+            report.errors.extend(refs.errors);
+        }
+        report
+    }
+
+    /// Single-threaded [`Database::check_database`]: the reference
+    /// implementation the parallel engine is tested against, and the
+    /// serial baseline of the benchmarks.
+    pub fn check_database_serial(&self) -> ConsistencyReport {
         let mut report = ConsistencyReport::default();
         for o in self.objects() {
             if let Ok(r) = self.check_object(o.oid) {
                 report.errors.extend(r.errors);
             }
         }
+        for o in self.objects() {
+            self.check_refs_of_into(o, None, &mut report);
+        }
         report
-            .errors
-            .extend(self.check_referential_integrity().errors);
-        report
+    }
+}
+
+/// Map `f` over `items` — in parallel when the `rayon` feature (default)
+/// is enabled, serially otherwise. Results come back in input order
+/// either way, so parallel checkers emit errors in exactly the serial
+/// order.
+fn map_items<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    #[cfg(feature = "rayon")]
+    {
+        use rayon::prelude::*;
+        items.par_iter().map(f).collect()
+    }
+    #[cfg(not(feature = "rayon"))]
+    {
+        items.iter().map(f).collect()
     }
 }
 
 /// OID-UNIQUENESS (Definition 5.6, condition 1) over an arbitrary
 /// collection: two objects with the same oid must agree on lifespan, value
 /// and class history.
+///
+/// Duplicate grouping is a cheap serial pass; the expensive deep equality
+/// comparisons of duplicate pairs run in parallel (under the default
+/// `rayon` feature), preserving the serial error order.
 pub fn check_oid_uniqueness(objects: &[crate::object::Object]) -> ConsistencyReport {
-    let mut report = ConsistencyReport::default();
-    let mut seen: std::collections::HashMap<Oid, &crate::object::Object> =
+    let mut last_seen: std::collections::HashMap<Oid, usize> =
         std::collections::HashMap::new();
-    for o in objects {
-        if let Some(prev) = seen.insert(o.oid, o) {
-            if prev.lifespan != o.lifespan
-                || prev.attrs != o.attrs
-                || prev.class_history != o.class_history
-            {
-                report.errors.push(ConsistencyError::OidClash { oid: o.oid });
-            }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (k, o) in objects.iter().enumerate() {
+        if let Some(prev) = last_seen.insert(o.oid, k) {
+            pairs.push((prev, k));
         }
     }
-    report
+    let errors = map_items(&pairs, |&(a, b)| {
+        let (prev, o) = (&objects[a], &objects[b]);
+        (prev.lifespan != o.lifespan
+            || prev.attrs != o.attrs
+            || prev.class_history != o.class_history)
+            .then_some(ConsistencyError::OidClash { oid: o.oid })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    ConsistencyReport { errors }
 }
 
 #[cfg(test)]

@@ -1,20 +1,29 @@
 //! The database: objects, classes, the logical clock, and the model
 //! functions of Table 3.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tchimera_temporal::{Instant, IntervalSet, Lifespan, TemporalValue};
 
 use crate::class::{Class, ClassDef};
+use crate::consistency::{ConsistencyError, ConsistencyReport};
 use crate::error::{ModelError, Result};
 use crate::ident::{AttrName, ClassId, Oid};
 use crate::object::Object;
+use crate::ref_index::RefIndex;
 use crate::schema::Schema;
 use crate::types::Type;
 use crate::value::Value;
 
 /// Attribute-value bindings supplied to creation and migration operations.
 pub type Attrs = BTreeMap<AttrName, Value>;
+
+/// `true` if `v` contains any oid reference (for histories: in any run).
+fn holds_refs(v: &Value) -> bool {
+    let mut out = Vec::new();
+    v.all_oids(&mut out);
+    !out.is_empty()
+}
 
 /// Build an [`Attrs`] map from `(name, value)` pairs.
 pub fn attrs<N, I>(pairs: I) -> Attrs
@@ -40,6 +49,8 @@ pub struct Database {
     objects: BTreeMap<Oid, Object>,
     clock: Instant,
     next_oid: u64,
+    /// Inverse reference graph, kept in sync by every object mutation.
+    refs: RefIndex,
 }
 
 impl Database {
@@ -223,6 +234,7 @@ impl Database {
             class_history: TemporalValue::starting_at(now, class.clone()),
         };
         self.objects.insert(oid, object);
+        self.reindex_refs(oid);
 
         // Maintain extents: instance of `class`, member of it and of all
         // its superclasses.
@@ -282,15 +294,12 @@ impl Database {
     fn open_membership(&mut self, oid: Oid, class: &ClassId, now: Instant) -> Result<()> {
         {
             let c = self.schema.class_mut(class)?;
-            c.proper_ext
-                .entry(oid)
-                .or_default()
-                .set_from(now, ())?;
-            c.ext.entry(oid).or_default().set_from(now, ())?;
+            c.proper_ext.open(oid, now)?;
+            c.ext.open(oid, now)?;
         }
         for sup in self.schema.superclasses_of(class) {
             let c = self.schema.class_mut(&sup)?;
-            c.ext.entry(oid).or_default().set_from(now, ())?;
+            c.ext.open(oid, now)?;
         }
         Ok(())
     }
@@ -343,6 +352,19 @@ impl Database {
         }
         let object = self.objects.get_mut(&oid).expect("present");
         let slot = object.attrs.get_mut(attr).expect("initialized at creation");
+        // The reverse-reference index is a union over the whole recorded
+        // state, and temporal histories only grow — so the update can be
+        // indexed incrementally (O(new value), not O(history)) unless it
+        // can *remove* a reference: a same-instant replace of the open
+        // run, or an overwrite of a ref-holding non-history value.
+        let mut added = Vec::new();
+        value.all_oids(&mut added);
+        let may_shrink = match (&*slot, decl.ty.is_temporal()) {
+            (Value::Temporal(h), true) => h.entries().last().is_some_and(|e| {
+                e.end.is_now() && e.start == now && holds_refs(&e.value)
+            }),
+            (old, _) => holds_refs(old),
+        };
         if decl.ty.is_temporal() {
             match slot {
                 Value::Temporal(h) => h.set_from(now, value)?,
@@ -350,6 +372,11 @@ impl Database {
             }
         } else {
             *slot = value;
+        }
+        if may_shrink {
+            self.reindex_refs(oid);
+        } else {
+            self.refs.add_refs(oid, added);
         }
         Ok(())
     }
@@ -545,30 +572,18 @@ impl Database {
             .chain(self.schema.superclasses_of(to))
             .collect();
         // proper-ext: leaves `from`, enters `to`.
-        if let Some(h) = self.schema.class_mut(&from)?.proper_ext.get_mut(&oid) {
-            h.close_before(now);
-        }
-        self.schema
-            .class_mut(to)?
-            .proper_ext
-            .entry(oid)
-            .or_default()
-            .set_from(now, ())?;
+        self.schema.class_mut(&from)?.proper_ext.close_before(oid, now);
+        self.schema.class_mut(to)?.proper_ext.open(oid, now)?;
         // ext: close classes left, open classes entered.
         for c in &old_supers {
             if !new_supers.contains(c) {
-                if let Some(h) = self.schema.class_mut(c)?.ext.get_mut(&oid) {
-                    h.close_before(now);
-                }
+                self.schema.class_mut(c)?.ext.close_before(oid, now);
             }
         }
         for c in &new_supers {
-            let class = self.schema.class_mut(c)?;
-            let h = class.ext.entry(oid).or_default();
-            if !h.has_open_run() {
-                h.set_from(now, ())?;
-            }
+            self.schema.class_mut(c)?.ext.open(oid, now)?;
         }
+        self.reindex_refs(oid);
         Ok(())
     }
 
@@ -594,15 +609,30 @@ impl Database {
             }
         }
         object.class_history.close(now);
-        for class in self.schema().classes().map(|c| c.id.clone()).collect::<Vec<_>>() {
-            let c = self.schema.class_mut(&class)?;
-            if let Some(h) = c.ext.get_mut(&oid) {
-                h.close(now);
-            }
-            if let Some(h) = c.proper_ext.get_mut(&oid) {
-                h.close(now);
+        // The object's memberships are exactly the classes it was ever an
+        // instance of, plus their superclasses (Invariant 5.1) — close
+        // those, not every class in the schema.
+        let mut affected: BTreeSet<ClassId> = object
+            .class_history
+            .entries()
+            .iter()
+            .map(|e| e.value.clone())
+            .collect();
+        for class in affected.clone() {
+            affected.extend(self.schema.superclasses_of(&class));
+        }
+        for class in affected {
+            // A membership can outlive its class (dropped classes keep
+            // their extent histories as tombstones but may be absent in
+            // exotic schema states); skip rather than fail.
+            if let Ok(c) = self.schema.class_mut(&class) {
+                c.ext.close(oid, now);
+                c.proper_ext.close(oid, now);
             }
         }
+        // No reference reindex: `close(now)` never pops a run (every run
+        // starts at or before the clock), and closed histories keep their
+        // recorded values — the object's reference set is unchanged.
         Ok(())
     }
 
@@ -698,7 +728,45 @@ impl Database {
     /// application code.
     #[doc(hidden)]
     pub fn replace_object_for_test(&mut self, object: Object) {
-        self.objects.insert(object.oid, object);
+        let oid = object.oid;
+        self.objects.insert(oid, object);
+        self.reindex_refs(oid);
+    }
+
+    /// Reconcile the reverse-reference index with `oid`'s current state.
+    /// `O(object state)` — mutation paths prefer [`RefIndex::add_refs`]
+    /// and fall back here only when references may have been removed.
+    fn reindex_refs(&mut self, oid: Oid) {
+        let refs = self
+            .objects
+            .get(&oid)
+            .map(Object::all_refs)
+            .unwrap_or_default();
+        self.refs.update(oid, refs);
+    }
+
+    /// The objects whose state references `target` (sorted), answered
+    /// from the reverse-reference index in `O(referrers)`.
+    pub fn referrers_of(&self, target: Oid) -> Vec<Oid> {
+        self.refs.referrers_of(target).collect()
+    }
+
+    /// `O(affected)` referential-integrity check after a mutation of
+    /// `oid`: its own outgoing references plus every reference pointing
+    /// at it, located through the reverse-reference index. Equivalent to
+    /// the `oid`-relevant slice of
+    /// [`Database::check_referential_integrity`].
+    pub fn check_refs_around(&self, oid: Oid) -> ConsistencyReport {
+        let mut report = self.check_object_refs(oid).unwrap_or_default();
+        // A self-reference is already covered by the outgoing pass.
+        report.errors.extend(
+            self.check_refs_to(oid)
+                .errors
+                .into_iter()
+                .filter(|e| !matches!(e,
+                    ConsistencyError::DanglingReference { oid: r, .. } if *r == oid)),
+        );
+        report
     }
 
     /// The current value of an attribute (temporal attributes resolve to

@@ -1,0 +1,415 @@
+//! Time-sorted extent indexing.
+//!
+//! The paper's `π(c, t)` (Section 3.2) asks for the *set* of members of a
+//! class at an instant. The seed implementation answered it by scanning
+//! every per-oid membership history of the class — `O(members ever)` per
+//! query. This module adds an incremental, time-sorted index so extent
+//! stabbing queries cost `O(log events + Δ)` where `Δ` is the distance to
+//! the nearest checkpoint, while the per-oid histories remain the source
+//! of truth for `membership_of`/`c_lifespan`.
+//!
+//! # Design
+//!
+//! Membership changes are append-mostly in time (all mutations happen at
+//! the logical clock's `now`), so they are kept as a time-sorted log of
+//! signed events: `+1` when an oid joins the extent at `t`, `−1` when it
+//! leaves from `t` on. Membership of `i` at `t` is then *the sum of
+//! `i`'s events at instants `≤ t`* — an order-free formulation that makes
+//! same-instant join/leave pairs (e.g. a migrate bouncing through a class
+//! in one tick) trivially correct.
+//!
+//! Three structures answer queries:
+//!
+//! * `events` — the sorted log (rare out-of-order inserts, e.g. a
+//!   creation at `t` racing a termination recorded at `t + 1`, splice in
+//!   place and invalidate later checkpoints);
+//! * `checkpoints` — full sorted member sets taken every
+//!   `max(256, members/8)` events, bounding replay length while keeping
+//!   total checkpoint memory linear in the event count;
+//! * `current` — the live member set (the sum of *all* events), serving
+//!   `t ≥` last event time (the overwhelmingly common "query at now").
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use tchimera_temporal::{Instant, TemporalValue};
+
+use crate::error::Result;
+use crate::ident::Oid;
+
+/// One membership change: `delta = +1` (join) or `−1` (leave), effective
+/// from instant `at` onward.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    at: Instant,
+    oid: Oid,
+    delta: i32,
+}
+
+/// A full member-set snapshot after the first `applied` events.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    applied: usize,
+    /// Sorted member oids.
+    members: Vec<Oid>,
+}
+
+/// Minimum number of events between checkpoints.
+const MIN_CHECKPOINT_GAP: usize = 256;
+
+/// The time-sorted extent index of one class.
+#[derive(Clone, Debug, Default)]
+struct ExtentIndex {
+    events: Vec<Event>,
+    checkpoints: Vec<Checkpoint>,
+    current: BTreeSet<Oid>,
+}
+
+impl ExtentIndex {
+    /// Record a membership change effective from `at`.
+    fn record(&mut self, at: Instant, oid: Oid, delta: i32) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        if pos < self.events.len() {
+            // Out-of-order insert (bounded displacement: only events
+            // recorded at `now + 1` by a same-instant termination can sort
+            // later). Checkpoints summarizing a prefix that now shifts are
+            // no longer prefixes — drop them.
+            while self
+                .checkpoints
+                .last()
+                .is_some_and(|c| c.applied > pos)
+            {
+                self.checkpoints.pop();
+            }
+        }
+        self.events.insert(pos, Event { at, oid, delta });
+        if delta > 0 {
+            self.current.insert(oid);
+        } else {
+            self.current.remove(&oid);
+        }
+        let since_last = self.events.len()
+            - self.checkpoints.last().map_or(0, |c| c.applied);
+        if since_last >= MIN_CHECKPOINT_GAP.max(self.current.len() / 8) {
+            self.checkpoints.push(Checkpoint {
+                applied: self.events.len(),
+                members: self.current.iter().copied().collect(),
+            });
+        }
+    }
+
+    /// Join events strictly after `lo` and at or before `hi`.
+    fn joins_in(&self, lo: Instant, hi: Instant) -> impl Iterator<Item = (Instant, Oid)> + '_ {
+        let a = self.events.partition_point(|e| e.at <= lo);
+        let b = self.events.partition_point(|e| e.at <= hi);
+        self.events[a..b]
+            .iter()
+            .filter(|e| e.delta > 0)
+            .map(|e| (e.at, e.oid))
+    }
+
+    /// The sorted member set at instant `t`, under clock `now`.
+    fn members_at(&self, t: Instant, now: Instant) -> Vec<Oid> {
+        if t > now || self.events.is_empty() {
+            return Vec::new();
+        }
+        // Number of events effective at or before `t`.
+        let idx = self.events.partition_point(|e| e.at <= t);
+        if idx == self.events.len() {
+            return self.current.iter().copied().collect();
+        }
+        // Latest checkpoint covering a prefix of those events.
+        let ck = self
+            .checkpoints
+            .partition_point(|c| c.applied <= idx)
+            .checked_sub(1)
+            .map(|k| &self.checkpoints[k]);
+        let (base, applied): (&[Oid], usize) =
+            ck.map_or((&[], 0), |c| (&c.members, c.applied));
+        // Net per-oid delta over the replay window.
+        let mut net: BTreeMap<Oid, i32> = BTreeMap::new();
+        for e in &self.events[applied..idx] {
+            *net.entry(e.oid).or_insert(0) += e.delta;
+        }
+        // Merge the sorted base set with the sorted delta map.
+        let mut out = Vec::with_capacity(base.len() + net.len());
+        let mut deltas = net.into_iter().peekable();
+        let mut base_iter = base.iter().copied().peekable();
+        loop {
+            match (base_iter.peek().copied(), deltas.peek().map(|&(o, _)| o)) {
+                (Some(b), Some(d)) if b < d => {
+                    out.push(b);
+                    base_iter.next();
+                }
+                (Some(b), Some(d)) if b > d => {
+                    let (oid, n) = deltas.next().expect("peeked");
+                    debug_assert!(d == oid);
+                    if n > 0 {
+                        out.push(oid);
+                    }
+                }
+                (Some(b), Some(_)) => {
+                    // Same oid in base and delta window: member iff the
+                    // base count (1) plus the net change is positive.
+                    let (_, n) = deltas.next().expect("peeked");
+                    base_iter.next();
+                    if 1 + n > 0 {
+                        out.push(b);
+                    }
+                }
+                (Some(b), None) => {
+                    out.push(b);
+                    base_iter.next();
+                }
+                (None, Some(_)) => {
+                    let (oid, n) = deltas.next().expect("peeked");
+                    if n > 0 {
+                        out.push(oid);
+                    }
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+}
+
+/// The membership store of one class: per-oid boolean histories (the
+/// source of truth realizing the paper's `ext`/`proper-ext` temporal
+/// attributes) plus the time-sorted [`ExtentIndex`] answering set-at-`t`
+/// queries without scanning every history.
+///
+/// All mutations go through [`open`](Membership::open) /
+/// [`close`](Membership::close) / [`close_before`](Membership::close_before)
+/// so the two representations can never diverge.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Membership {
+    histories: HashMap<Oid, TemporalValue<()>>,
+    index: ExtentIndex,
+}
+
+impl Membership {
+    /// Open a membership run for `oid` from `now` (no-op when already a
+    /// member).
+    pub(crate) fn open(&mut self, oid: Oid, now: Instant) -> Result<()> {
+        let h = self.histories.entry(oid).or_default();
+        if h.has_open_run() {
+            return Ok(());
+        }
+        h.set_from(now, ())?;
+        self.index.record(now, oid, 1);
+        Ok(())
+    }
+
+    /// Close the open run at `now` inclusive (termination discipline):
+    /// the oid stays a member through `now`.
+    pub(crate) fn close(&mut self, oid: Oid, now: Instant) {
+        let Some(h) = self.histories.get_mut(&oid) else {
+            return;
+        };
+        if !h.has_open_run() {
+            return;
+        }
+        let start = h.entries().last().expect("open run").start;
+        h.close(now);
+        // A run opened after `now` never held: cancel it from its start.
+        let at = if start > now { start } else { now.next() };
+        self.index.record(at, oid, -1);
+    }
+
+    /// Close the open run strictly before `now` (migration discipline):
+    /// membership ends at `now − 1`; a run opened at or after `now` never
+    /// held.
+    pub(crate) fn close_before(&mut self, oid: Oid, now: Instant) {
+        let Some(h) = self.histories.get_mut(&oid) else {
+            return;
+        };
+        if !h.has_open_run() {
+            return;
+        }
+        let start = h.entries().last().expect("open run").start;
+        h.close_before(now);
+        let at = if start >= now { start } else { now };
+        self.index.record(at, oid, -1);
+    }
+
+    /// Indexed stabbing query: the sorted member set at `t`.
+    pub(crate) fn members_at(&self, t: Instant, now: Instant) -> Vec<Oid> {
+        let out = self.index.members_at(t, now);
+        debug_assert_eq!(out, self.members_at_scan(t, now), "extent index diverged");
+        out
+    }
+
+    /// Indexed window query: the sorted set of oids members at *some*
+    /// instant of `[lo, hi]`. A member during the window either is a
+    /// member at `lo` (runs are intervals, so any run covering a later
+    /// window instant but starting at or before `lo` covers `lo`), or
+    /// opens a run inside `(lo, hi]` — and every run opening emits a join
+    /// event, so the event log locates those in `O(log events + joins in
+    /// window)`. A join whose run was cancelled the same instant (e.g. a
+    /// migrate bouncing through the class) is filtered out against the
+    /// history.
+    pub(crate) fn members_during(&self, lo: Instant, hi: Instant, now: Instant) -> Vec<Oid> {
+        let hi = hi.min(now);
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut out = self.index.members_at(lo, now);
+        for (at, oid) in self.index.joins_in(lo, hi) {
+            if self
+                .histories
+                .get(&oid)
+                .is_some_and(|h| h.is_defined_at(at, now))
+            {
+                out.push(oid);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        debug_assert_eq!(
+            out,
+            self.members_during_scan(lo, hi, now),
+            "extent index diverged on window [{lo:?}, {hi:?}]"
+        );
+        out
+    }
+
+    /// Reference implementation of [`Membership::members_during`]: scan
+    /// every history for a run overlapping the window.
+    pub(crate) fn members_during_scan(
+        &self,
+        lo: Instant,
+        hi: Instant,
+        now: Instant,
+    ) -> Vec<Oid> {
+        let window = tchimera_temporal::Interval::new(lo, hi.min(now));
+        let mut v: Vec<Oid> = self
+            .histories
+            .iter()
+            .filter(|(_, h)| {
+                h.entries()
+                    .iter()
+                    .any(|e| !e.interval(now).intersect(window).is_empty())
+            })
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Reference implementation: linear scan over every per-oid history.
+    /// Kept as the equivalence baseline for property tests and benches.
+    pub(crate) fn members_at_scan(&self, t: Instant, now: Instant) -> Vec<Oid> {
+        let mut v: Vec<Oid> = self
+            .histories
+            .iter()
+            .filter(|(_, h)| h.is_defined_at(t, now))
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The membership history of `oid`, if it was ever a member.
+    pub(crate) fn history_of(&self, oid: Oid) -> Option<&TemporalValue<()>> {
+        self.histories.get(&oid)
+    }
+
+    /// All oids ever members.
+    pub(crate) fn oids(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.histories.keys().copied()
+    }
+
+    /// The raw per-oid histories (read-only).
+    pub(crate) fn histories(&self) -> &HashMap<Oid, TemporalValue<()>> {
+        &self.histories
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Instant {
+        Instant(n)
+    }
+
+    #[test]
+    fn open_close_roundtrip() {
+        let mut m = Membership::default();
+        m.open(Oid(1), t(10)).unwrap();
+        m.open(Oid(2), t(12)).unwrap();
+        m.close(Oid(1), t(15));
+        let now = t(20);
+        assert_eq!(m.members_at(t(9), now), vec![]);
+        assert_eq!(m.members_at(t(10), now), vec![Oid(1)]);
+        assert_eq!(m.members_at(t(13), now), vec![Oid(1), Oid(2)]);
+        assert_eq!(m.members_at(t(15), now), vec![Oid(1), Oid(2)]);
+        assert_eq!(m.members_at(t(16), now), vec![Oid(2)]);
+        assert_eq!(m.members_at(t(25), now), vec![]);
+    }
+
+    #[test]
+    fn same_instant_join_and_leave_cancels() {
+        let mut m = Membership::default();
+        m.open(Oid(7), t(5)).unwrap();
+        // Migration away at the same instant: the run never held.
+        m.close_before(Oid(7), t(5));
+        let now = t(10);
+        assert_eq!(m.members_at(t(5), now), vec![]);
+        assert_eq!(m.members_at_scan(t(5), now), vec![]);
+    }
+
+    #[test]
+    fn reopen_after_close() {
+        let mut m = Membership::default();
+        m.open(Oid(3), t(1)).unwrap();
+        m.close_before(Oid(3), t(4)); // member over [1, 3]
+        m.open(Oid(3), t(8)).unwrap();
+        let now = t(12);
+        assert_eq!(m.members_at(t(3), now), vec![Oid(3)]);
+        assert_eq!(m.members_at(t(5), now), vec![]);
+        assert_eq!(m.members_at(t(8), now), vec![Oid(3)]);
+        assert_eq!(m.history_of(Oid(3)).unwrap().run_count(), 2);
+    }
+
+    #[test]
+    fn out_of_order_insert_is_handled() {
+        let mut m = Membership::default();
+        m.open(Oid(1), t(5)).unwrap();
+        // Termination records the leave at now + 1 …
+        m.close(Oid(1), t(7));
+        // … then another oid joins at 7, sorting before the leave at 8.
+        m.open(Oid(2), t(7)).unwrap();
+        let now = t(9);
+        assert_eq!(m.members_at(t(7), now), vec![Oid(1), Oid(2)]);
+        assert_eq!(m.members_at(t(8), now), vec![Oid(2)]);
+    }
+
+    #[test]
+    fn checkpoints_agree_with_scan_on_long_logs() {
+        let mut m = Membership::default();
+        // Enough churn to cross several checkpoint boundaries.
+        for k in 0..2000u64 {
+            m.open(Oid(k % 700), t(k)).unwrap();
+            if k % 3 == 0 {
+                m.close_before(Oid((k / 2) % 700), t(k));
+            }
+        }
+        let now = t(2200);
+        for probe in [0, 1, 99, 500, 1234, 1999, 2100] {
+            assert_eq!(
+                m.members_at(t(probe), now),
+                m.members_at_scan(t(probe), now),
+                "diverged at t={probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn future_instants_are_empty() {
+        let mut m = Membership::default();
+        m.open(Oid(1), t(5)).unwrap();
+        assert_eq!(m.members_at(t(9), t(8)), vec![]);
+        assert_eq!(m.members_at(t(8), t(8)), vec![Oid(1)]);
+    }
+}

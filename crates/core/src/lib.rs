@@ -51,10 +51,12 @@ mod database;
 mod equality;
 mod error;
 mod extension;
+mod extent_index;
 mod ident;
 mod inheritance;
 mod invariants;
 mod object;
+mod ref_index;
 mod schema;
 mod subtyping;
 mod types;

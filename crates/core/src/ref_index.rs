@@ -1,0 +1,164 @@
+//! Reverse-reference index: which objects reference a given oid.
+//!
+//! Referential-integrity checking (consistency condition on `Value::Oid`
+//! references, Definitions 5.2–5.4) is inherently bidirectional: an
+//! update to object `i` can only break the references *held by* `i`, but
+//! a termination of `i` can break the references of every object
+//! *pointing at* `i`. The seed implementation answered the latter by
+//! scanning the whole database. This index maintains, incrementally on
+//! every mutation, the inverse of the reference graph so both directions
+//! are `O(affected)`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ident::Oid;
+
+/// The inverse reference graph, maintained by [`RefIndex::update`] after
+/// each object mutation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RefIndex {
+    /// Referrer → sorted distinct oids it references (anywhere in its
+    /// state, past runs included). Cached so an update only diffs.
+    fwd: HashMap<Oid, Vec<Oid>>,
+    /// Target → set of referrers.
+    rev: HashMap<Oid, BTreeSet<Oid>>,
+}
+
+impl RefIndex {
+    /// Reconcile the index with `referrer`'s current outgoing reference
+    /// set (`new_refs` must be sorted and distinct, as produced by
+    /// `Object::all_refs`). Cost is linear in the two reference lists.
+    pub(crate) fn update(&mut self, referrer: Oid, new_refs: Vec<Oid>) {
+        let old = self.fwd.get(&referrer).map(Vec::as_slice).unwrap_or(&[]);
+        // Diff two sorted lists.
+        let (mut a, mut b) = (0, 0);
+        let mut added: Vec<Oid> = Vec::new();
+        let mut removed: Vec<Oid> = Vec::new();
+        while a < old.len() || b < new_refs.len() {
+            match (old.get(a), new_refs.get(b)) {
+                (Some(&o), Some(&n)) if o == n => {
+                    a += 1;
+                    b += 1;
+                }
+                (Some(&o), Some(&n)) if o < n => {
+                    removed.push(o);
+                    a += 1;
+                }
+                (Some(_), Some(&n)) => {
+                    added.push(n);
+                    b += 1;
+                }
+                (Some(&o), None) => {
+                    removed.push(o);
+                    a += 1;
+                }
+                (None, Some(&n)) => {
+                    added.push(n);
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        for t in removed {
+            if let Some(set) = self.rev.get_mut(&t) {
+                set.remove(&referrer);
+                if set.is_empty() {
+                    self.rev.remove(&t);
+                }
+            }
+        }
+        for t in added {
+            self.rev.entry(t).or_default().insert(referrer);
+        }
+        if new_refs.is_empty() {
+            self.fwd.remove(&referrer);
+        } else {
+            self.fwd.insert(referrer, new_refs);
+        }
+    }
+
+    /// Merge additional reference targets of `referrer` into the index
+    /// without recomputing its full reference set. Sound whenever the
+    /// mutation cannot have *removed* references (the common case:
+    /// temporal histories only grow), since the indexed sets are unions
+    /// over the whole recorded state. Cost is `O(|added| · log)` plus
+    /// insertion shifts — independent of the object's history length.
+    pub(crate) fn add_refs(&mut self, referrer: Oid, mut added: Vec<Oid>) {
+        added.sort_unstable();
+        added.dedup();
+        if added.is_empty() {
+            return;
+        }
+        let fwd = self.fwd.entry(referrer).or_default();
+        for t in added {
+            if let Err(pos) = fwd.binary_search(&t) {
+                fwd.insert(pos, t);
+                self.rev.entry(t).or_default().insert(referrer);
+            }
+        }
+    }
+
+    /// The objects referencing `target` (sorted).
+    pub(crate) fn referrers_of(&self, target: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.rev.get(&target).into_iter().flatten().copied()
+    }
+
+    /// The cached outgoing reference set of `referrer` (sorted).
+    #[cfg(test)]
+    pub(crate) fn targets_of(&self, referrer: Oid) -> &[Oid] {
+        self.fwd.get(&referrer).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn referrers(ix: &RefIndex, t: Oid) -> Vec<Oid> {
+        ix.referrers_of(t).collect()
+    }
+
+    #[test]
+    fn update_diffs_and_inverts() {
+        let mut ix = RefIndex::default();
+        ix.update(Oid(1), vec![Oid(10), Oid(20)]);
+        ix.update(Oid(2), vec![Oid(20)]);
+        assert_eq!(referrers(&ix, Oid(10)), vec![Oid(1)]);
+        assert_eq!(referrers(&ix, Oid(20)), vec![Oid(1), Oid(2)]);
+
+        // Drop 10, add 30.
+        ix.update(Oid(1), vec![Oid(20), Oid(30)]);
+        assert_eq!(referrers(&ix, Oid(10)), Vec::<Oid>::new());
+        assert_eq!(referrers(&ix, Oid(30)), vec![Oid(1)]);
+        assert_eq!(referrers(&ix, Oid(20)), vec![Oid(1), Oid(2)]);
+        assert_eq!(ix.targets_of(Oid(1)), &[Oid(20), Oid(30)]);
+
+        // Clear everything from 1.
+        ix.update(Oid(1), vec![]);
+        assert_eq!(referrers(&ix, Oid(20)), vec![Oid(2)]);
+        assert_eq!(referrers(&ix, Oid(30)), Vec::<Oid>::new());
+        assert!(ix.targets_of(Oid(1)).is_empty());
+    }
+
+    #[test]
+    fn add_refs_merges_without_recompute() {
+        let mut ix = RefIndex::default();
+        ix.update(Oid(1), vec![Oid(10), Oid(30)]);
+        ix.add_refs(Oid(1), vec![Oid(20), Oid(10), Oid(20)]);
+        assert_eq!(ix.targets_of(Oid(1)), &[Oid(10), Oid(20), Oid(30)]);
+        assert_eq!(referrers(&ix, Oid(20)), vec![Oid(1)]);
+        // No-ops leave the index untouched.
+        ix.add_refs(Oid(1), vec![]);
+        ix.add_refs(Oid(2), vec![]);
+        assert_eq!(ix.targets_of(Oid(1)), &[Oid(10), Oid(20), Oid(30)]);
+        assert!(ix.targets_of(Oid(2)).is_empty());
+    }
+
+    #[test]
+    fn idempotent_updates() {
+        let mut ix = RefIndex::default();
+        ix.update(Oid(5), vec![Oid(6)]);
+        ix.update(Oid(5), vec![Oid(6)]);
+        assert_eq!(referrers(&ix, Oid(6)), vec![Oid(5)]);
+    }
+}

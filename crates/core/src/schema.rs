@@ -1,12 +1,13 @@
 //! The schema: classes, the ISA hierarchy and feature inheritance
 //! (Sections 4 and 6).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use tchimera_temporal::{Instant, Lifespan, TemporalValue};
 
 use crate::class::{Class, ClassDef, ClassKind};
 use crate::error::{ModelError, Result};
+use crate::extent_index::Membership;
 use crate::ident::{AttrName, ClassId};
 use crate::types::Type;
 use crate::value::Value;
@@ -224,8 +225,8 @@ impl Schema {
             subclasses: Vec::new(),
             metaclass: name.metaclass(),
             hierarchy,
-            ext: HashMap::new(),
-            proper_ext: HashMap::new(),
+            ext: Membership::default(),
+            proper_ext: Membership::default(),
         };
         Ok(self.classes.entry(name).or_insert(class))
     }

@@ -1,0 +1,122 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Marker strategy implementing `any::<T>()` per primitive type.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl Strategy for AnyStrategy<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Half ASCII (dense coverage of the common case), half arbitrary
+        // unicode scalars.
+        if rng.below(2) == 0 {
+            char::from_u32((0x20 + rng.below(0x5f)) as u32).expect("ascii")
+        } else {
+            loop {
+                if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyStrategy<char>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl Strategy for AnyStrategy<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // As in real proptest's default: finite values only (no NaN or
+        // infinities, which would break round-trip equality properties).
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyStrategy<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_generate() {
+        let mut rng = TestRng::for_case("arb", 0);
+        let mut trues = 0;
+        for _ in 0..100 {
+            let _: u8 = any::<u8>().generate(&mut rng);
+            let _: i64 = any::<i64>().generate(&mut rng);
+            let _: char = any::<char>().generate(&mut rng);
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+            if any::<bool>().generate(&mut rng) {
+                trues += 1;
+            }
+        }
+        assert!(trues > 20 && trues < 80);
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size window for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element` and
+/// whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let s = vec(0u64..10, 2..5);
+        let mut rng = TestRng::for_case("vec", 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen.insert(v.len());
+        }
+        assert_eq!(seen, [2, 3, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn exact_and_inclusive_sizes() {
+        let mut rng = TestRng::for_case("vec2", 0);
+        assert_eq!(vec(0u64..10, 3usize).generate(&mut rng).len(), 3);
+        let v = vec(0u64..10, 1..=2).generate(&mut rng);
+        assert!((1..=2).contains(&v.len()));
+    }
+}

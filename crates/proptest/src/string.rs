@@ -1,0 +1,195 @@
+//! Generation of strings matching a regex-like pattern.
+//!
+//! Supports the subset of regex syntax used as string strategies in this
+//! workspace: character classes `[a-z0-9 ']` (literal chars and ranges),
+//! the any-char dot `.`, literal characters, and the quantifiers `{n}`,
+//! `{n,m}`, `*`, `+`, `?`.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// `.` — any printable character (plus occasional non-ASCII).
+    Dot,
+    /// A literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut k = 0;
+    while k < chars.len() {
+        let atom = match chars[k] {
+            '[' => {
+                let mut set = Vec::new();
+                k += 1;
+                while k < chars.len() && chars[k] != ']' {
+                    if k + 2 < chars.len() && chars[k + 1] == '-' && chars[k + 2] != ']' {
+                        let (lo, hi) = (chars[k] as u32, chars[k + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        k += 3;
+                    } else {
+                        set.push(chars[k]);
+                        k += 1;
+                    }
+                }
+                assert!(k < chars.len(), "unterminated char class in {pattern:?}");
+                k += 1; // consume ']'
+                assert!(!set.is_empty(), "empty char class in {pattern:?}");
+                Atom::Class(set)
+            }
+            '.' => {
+                k += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                k += 1;
+                assert!(k < chars.len(), "dangling escape in {pattern:?}");
+                let c = chars[k];
+                k += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                k += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if k < chars.len() {
+            match chars[k] {
+                '{' => {
+                    let close = chars[k..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| k + p)
+                        .unwrap_or_else(|| panic!("unterminated {{…}} in {pattern:?}"));
+                    let body: String = chars[k + 1..close].iter().collect();
+                    k = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    k += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    k += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    k += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn dot_char(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII; occasionally an arbitrary unicode scalar to
+    // exercise non-ASCII paths (as real proptest's `.` does).
+    if rng.below(8) == 0 {
+        loop {
+            if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                if c != '\n' {
+                    return c;
+                }
+            }
+        }
+    } else {
+        char::from_u32((0x20 + rng.below(0x5f)) as u32).expect("printable ascii")
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                Atom::Dot => out.push(dot_char(rng)),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 0)
+    }
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = generate_matching("[a-c]{2,4}", &mut r);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_exact_count() {
+        let mut r = rng();
+        let s = generate_matching("ab{3}c", &mut r);
+        assert_eq!(s, "abbbc");
+    }
+
+    #[test]
+    fn class_with_space_and_quote() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9 ']{0,12}", &mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+        }
+    }
+
+    #[test]
+    fn dot_generates_varied_chars() {
+        let mut r = rng();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            for c in generate_matching(".{0,5}", &mut r).chars() {
+                distinct.insert(c);
+            }
+        }
+        assert!(distinct.len() > 20);
+    }
+}

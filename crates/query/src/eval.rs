@@ -108,18 +108,8 @@ pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> 
         let oids = match q.time {
             TimeSpec::Now => class.ext_at(now, now),
             TimeSpec::AsOf(t) => class.ext_at(Instant(t), now),
-            TimeSpec::During(..) => {
-                let mut oids: Vec<Oid> = class
-                    .ever_members()
-                    .filter(|&i| {
-                        !class
-                            .membership_of(i, now)
-                            .intersection(&window.into())
-                            .is_empty()
-                    })
-                    .collect();
-                oids.sort();
-                oids
+            TimeSpec::During(a, b) => {
+                class.ext_during(Instant(a), Instant(b), now)
             }
         };
         candidates.push((var.clone(), oids));

@@ -82,6 +82,32 @@ impl IntervalSet {
             .is_ok()
     }
 
+    /// The maximal interval containing `t`, if any (binary search).
+    pub fn interval_containing(&self, t: Instant) -> Option<Interval> {
+        let k = self.ivs.partition_point(|iv| iv.hi().unwrap() < t);
+        let iv = *self.ivs.get(k)?;
+        (iv.lo().unwrap() <= t).then_some(iv)
+    }
+
+    /// `true` when every instant of `iv` belongs to the set. Equivalent
+    /// to `IntervalSet::from(iv).is_subset(self)` but a single binary
+    /// search instead of a materialized difference — the fast path of the
+    /// consistency checkers, where coverage almost always holds.
+    pub fn covers_interval(&self, iv: Interval) -> bool {
+        let Some(lo) = iv.lo() else {
+            return true; // The empty interval is covered by anything.
+        };
+        self.interval_containing(lo)
+            .is_some_and(|c| c.hi().unwrap() >= iv.hi().unwrap())
+    }
+
+    /// The first instant of the set at or after `t` (binary search).
+    pub fn first_at_or_after(&self, t: Instant) -> Option<Instant> {
+        let k = self.ivs.partition_point(|iv| iv.hi().unwrap() < t);
+        let iv = self.ivs.get(k)?;
+        Some(iv.lo().unwrap().max(t))
+    }
+
     /// Insert all instants of `iv`, merging with overlapping/adjacent runs.
     pub fn insert(&mut self, iv: Interval) {
         if iv.is_empty() {
@@ -309,6 +335,36 @@ mod tests {
         let s = set(&[(1, 2), (5, 6)]);
         let v: Vec<u64> = s.instants().map(Instant::ticks).collect();
         assert_eq!(v, vec![1, 2, 5, 6]);
+    }
+
+    #[test]
+    fn binary_search_helpers() {
+        let s = set(&[(1, 3), (7, 9)]);
+        assert_eq!(s.interval_containing(Instant(2)), Some(iv(1, 3)));
+        assert_eq!(s.interval_containing(Instant(7)), Some(iv(7, 9)));
+        assert_eq!(s.interval_containing(Instant(5)), None);
+        assert_eq!(s.interval_containing(Instant(10)), None);
+        assert!(s.covers_interval(iv(1, 3)));
+        assert!(s.covers_interval(iv(8, 9)));
+        assert!(!s.covers_interval(iv(2, 4)));
+        assert!(!s.covers_interval(iv(3, 7)));
+        assert!(s.covers_interval(Interval::EMPTY));
+        assert!(!IntervalSet::empty().covers_interval(iv(1, 1)));
+        assert_eq!(s.first_at_or_after(Instant(0)), Some(Instant(1)));
+        assert_eq!(s.first_at_or_after(Instant(2)), Some(Instant(2)));
+        assert_eq!(s.first_at_or_after(Instant(4)), Some(Instant(7)));
+        assert_eq!(s.first_at_or_after(Instant(10)), None);
+        // Agreement with the difference-based subset test on many probes.
+        for lo in 0..12u64 {
+            for hi in lo..12u64 {
+                let probe = iv(lo, hi);
+                assert_eq!(
+                    s.covers_interval(probe),
+                    IntervalSet::from_interval(probe).is_subset(&s),
+                    "probe [{lo},{hi}]"
+                );
+            }
+        }
     }
 
     #[test]
