@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E12) and prints them as Markdown.
+//! (E1–E13) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -56,6 +56,9 @@ fn main() {
     }
     if want("E12") {
         e12_extent_index();
+    }
+    if want("E13") {
+        e13_recovery();
     }
 }
 
@@ -546,5 +549,75 @@ fn e12_extent_index() {
         "check_referential_integrity (whole database)",
         time_ns(11, || db.check_referential_integrity()),
     );
+    println!();
+}
+
+fn e13_recovery() {
+    header(
+        "E13",
+        "Recovery time vs. log length (full replay vs. checkpoint + suffix)",
+    );
+    let employee = ClassId::from("employee");
+    let build = |path: &std::path::PathBuf, ops: usize, checkpoint: bool| {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(tchimera_storage::snapshot_path(path));
+        let mut pdb = PersistentDatabase::open(path).unwrap();
+        pdb.define_class(
+            ClassDef::new("employee").attr("salary", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        let mut last = Oid(0);
+        for i in 1..ops {
+            match i % 8 {
+                0 => {
+                    let t = Instant(pdb.db().now().ticks() + 1);
+                    pdb.advance_to(t).unwrap();
+                }
+                1 | 5 => {
+                    last = pdb
+                        .create_object(&employee, attrs([("salary", Value::Int(i as i64))]))
+                        .unwrap();
+                }
+                _ => {
+                    pdb.set_attr(last, &"salary".into(), Value::Int(i as i64))
+                        .unwrap();
+                }
+            }
+        }
+        if checkpoint {
+            pdb.checkpoint().unwrap();
+            for i in 0..128u64 {
+                let t = Instant(pdb.db().now().ticks() + 1);
+                let _ = i;
+                pdb.advance_to(t).unwrap();
+            }
+        }
+        pdb.sync().unwrap();
+    };
+    println!("| ops in history | full replay | ops replayed | checkpointed (+128-op tail) | ops replayed |");
+    println!("|---|---|---|---|---|");
+    for &n in &[1_000usize, 10_000] {
+        let path = std::env::temp_dir().join(format!(
+            "tchimera-harness-e13-{}-{n}.log",
+            std::process::id()
+        ));
+        build(&path, n, false);
+        let reps = if n >= 10_000 { 5 } else { 11 };
+        let full_ns = time_ns(reps, || PersistentDatabase::open(&path).unwrap());
+        let full_replayed = PersistentDatabase::open(&path).unwrap().recovered_replayed();
+        build(&path, n, true);
+        let ckpt_ns = time_ns(reps, || PersistentDatabase::open(&path).unwrap());
+        let ckpt = PersistentDatabase::open(&path).unwrap();
+        assert!(ckpt.recovered_from_snapshot());
+        println!(
+            "| {n} | {} | {} | {} | {} |",
+            fmt_ns(full_ns),
+            full_replayed,
+            fmt_ns(ckpt_ns),
+            ckpt.recovered_replayed(),
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(tchimera_storage::snapshot_path(&path));
+    }
     println!();
 }

@@ -1,0 +1,161 @@
+//! Standalone recovery study: startup cost vs. log length, with and
+//! without checkpoints, emitting machine-readable `BENCH_recovery.json`.
+//!
+//! ```text
+//! cargo run --release -p tchimera-bench --bin recovery            # full
+//! cargo run --release -p tchimera-bench --bin recovery -- --quick # small sizes
+//! ```
+//!
+//! For each workload size `n`:
+//!
+//! * **full replay** — open a database whose log holds all `n`
+//!   operations (the pre-checkpoint recovery path: fold from byte 0);
+//! * **checkpointed** — the same workload, but a checkpoint was
+//!   installed after `n` operations and a fixed 128-op tail appended
+//!   after it: recovery loads the snapshot and replays only the tail.
+//!
+//! Replayed-operation counts come from the engine itself
+//! (`recovered_replayed`), so the "measurably fewer ops" claim in the
+//! acceptance criteria is checked by the numbers, not inferred.
+
+use std::path::PathBuf;
+
+use tchimera_bench::{fmt_ns, time_ns};
+use tchimera_core::{attrs, ClassDef, ClassId, Instant, Oid, Type, Value};
+use tchimera_storage::{snapshot_path, PersistentDatabase};
+
+/// Operations appended after the checkpoint (the replay suffix).
+const TAIL: usize = 128;
+
+struct Row {
+    ops: usize,
+    full_ns: f64,
+    full_replayed: usize,
+    ckpt_ns: f64,
+    ckpt_replayed: usize,
+}
+
+fn fresh_path(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "tchimera-bench-recovery-{}-{tag}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(snapshot_path(&p));
+    p
+}
+
+fn cleanup(p: &PathBuf) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(snapshot_path(p));
+}
+
+/// Append `steps` scripted mutations (advance / create / set_attr).
+fn run_ops(pdb: &mut PersistentDatabase, steps: usize, salt: usize) {
+    let employee = ClassId::from("employee");
+    let mut last = 0u64;
+    for i in salt..salt + steps {
+        match i % 8 {
+            0 => {
+                let t = Instant(pdb.db().now().ticks() + 1);
+                pdb.advance_to(t).unwrap();
+            }
+            1 | 5 => {
+                last = pdb
+                    .create_object(&employee, attrs([("salary", Value::Int(i as i64))]))
+                    .unwrap()
+                    .0;
+            }
+            _ => {
+                pdb.set_attr(Oid(last), &"salary".into(), Value::Int(i as i64))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+fn build(path: &PathBuf, ops: usize, checkpoint: bool) {
+    let mut pdb = PersistentDatabase::open(path).unwrap();
+    pdb.define_class(
+        ClassDef::new("employee").attr("salary", Type::temporal(Type::INTEGER)),
+    )
+    .unwrap();
+    run_ops(&mut pdb, ops.saturating_sub(1), 1);
+    if checkpoint {
+        pdb.checkpoint().unwrap();
+        run_ops(&mut pdb, TAIL, ops + 1);
+    }
+    pdb.sync().unwrap();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[1_000, 5_000, 20_000, 80_000]
+    };
+
+    println!("# E13 — recovery time vs. log length (full replay vs. checkpoint + suffix)\n");
+    println!("| ops in history | full replay | ops replayed | checkpointed (+{TAIL}-op tail) | ops replayed | speedup |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let full_path = fresh_path(&format!("full-{n}"));
+        build(&full_path, n, false);
+        let reps = if n >= 20_000 { 5 } else { 11 };
+        let full_ns = time_ns(reps, || PersistentDatabase::open(&full_path).unwrap());
+        let full = PersistentDatabase::open(&full_path).unwrap();
+        let full_replayed = full.recovered_replayed();
+        assert!(!full.recovered_from_snapshot());
+        cleanup(&full_path);
+
+        let ckpt_path = fresh_path(&format!("ckpt-{n}"));
+        build(&ckpt_path, n, true);
+        let ckpt_ns = time_ns(reps, || PersistentDatabase::open(&ckpt_path).unwrap());
+        let ckpt = PersistentDatabase::open(&ckpt_path).unwrap();
+        let ckpt_replayed = ckpt.recovered_replayed();
+        assert!(ckpt.recovered_from_snapshot());
+        assert!(ckpt_replayed < full_replayed, "checkpoint must shorten replay");
+        cleanup(&ckpt_path);
+
+        let row = Row {
+            ops: n,
+            full_ns,
+            full_replayed,
+            ckpt_ns,
+            ckpt_replayed,
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {:.1}× |",
+            row.ops,
+            fmt_ns(row.full_ns),
+            row.full_replayed,
+            fmt_ns(row.ckpt_ns),
+            row.ckpt_replayed,
+            row.full_ns / row.ckpt_ns,
+        );
+        rows.push(row);
+    }
+
+    // Hand-rolled JSON (no serde in the tree): flat and stable.
+    let mut json = String::from("{\n  \"tail_ops\": ");
+    json.push_str(&format!("{TAIL},\n"));
+    json.push_str("  \"recovery\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ops\": {}, \"full_replay_ns\": {:.0}, \"full_replayed\": {}, \"checkpoint_ns\": {:.0}, \"checkpoint_replayed\": {}, \"speedup\": {:.2}}}{}\n",
+            r.ops,
+            r.full_ns,
+            r.full_replayed,
+            r.ckpt_ns,
+            r.ckpt_replayed,
+            r.full_ns / r.ckpt_ns,
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("\nwrote BENCH_recovery.json");
+}

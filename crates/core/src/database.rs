@@ -45,12 +45,12 @@ where
 /// "Our model" row).
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    schema: Schema,
-    objects: BTreeMap<Oid, Object>,
-    clock: Instant,
-    next_oid: u64,
+    pub(crate) schema: Schema,
+    pub(crate) objects: BTreeMap<Oid, Object>,
+    pub(crate) clock: Instant,
+    pub(crate) next_oid: u64,
     /// Inverse reference graph, kept in sync by every object mutation.
-    refs: RefIndex,
+    pub(crate) refs: RefIndex,
 }
 
 impl Database {
@@ -736,7 +736,7 @@ impl Database {
     /// Reconcile the reverse-reference index with `oid`'s current state.
     /// `O(object state)` — mutation paths prefer [`RefIndex::add_refs`]
     /// and fall back here only when references may have been removed.
-    fn reindex_refs(&mut self, oid: Oid) {
+    pub(crate) fn reindex_refs(&mut self, oid: Oid) {
         let refs = self
             .objects
             .get(&oid)

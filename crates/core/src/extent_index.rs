@@ -323,6 +323,35 @@ impl Membership {
     pub(crate) fn histories(&self) -> &HashMap<Oid, TemporalValue<()>> {
         &self.histories
     }
+
+    /// Rebuild a membership store (histories **and** the time-sorted
+    /// index) from bare per-oid histories, as when importing a state
+    /// snapshot. Every run contributes a join event at its start and —
+    /// for closed runs `[s, e]` — a leave event at `e + 1`, exactly the
+    /// instants the live [`open`](Membership::open) /
+    /// [`close`](Membership::close) /
+    /// [`close_before`](Membership::close_before) paths would have
+    /// recorded. Events are replayed in time order, leaves before joins
+    /// at the same instant (the live close-then-reopen order), so the
+    /// index's current-member set matches the one incremental maintenance
+    /// would have produced.
+    pub(crate) fn from_histories(histories: HashMap<Oid, TemporalValue<()>>) -> Membership {
+        let mut events: Vec<(Instant, Oid, i32)> = Vec::new();
+        for (&oid, h) in &histories {
+            for e in h.entries() {
+                events.push((e.start, oid, 1));
+                if let tchimera_temporal::TimeBound::Fixed(end) = e.end {
+                    events.push((end.next(), oid, -1));
+                }
+            }
+        }
+        events.sort_unstable_by_key(|&(at, oid, delta)| (at, delta, oid));
+        let mut index = ExtentIndex::default();
+        for (at, oid, delta) in events {
+            index.record(at, oid, delta);
+        }
+        Membership { histories, index }
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ mod invariants;
 mod object;
 mod ref_index;
 mod schema;
+mod state;
 mod subtyping;
 mod types;
 mod typing;
@@ -74,6 +75,7 @@ pub use ident::{AttrName, ClassId, MethodName, Oid, Symbol};
 pub use invariants::{InvariantId, InvariantViolation};
 pub use object::Object;
 pub use schema::Schema;
+pub use state::{ClassState, DatabaseState, MembershipState, ObjectState, RunState, StateError};
 pub use types::{BasicType, Type};
 pub use value::Value;
 

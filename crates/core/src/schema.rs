@@ -26,8 +26,8 @@ use crate::value::Value;
 /// never be recreated (class lifespans are contiguous, Section 4).
 #[derive(Clone, Debug, Default)]
 pub struct Schema {
-    classes: BTreeMap<ClassId, Class>,
-    next_hierarchy: u32,
+    pub(crate) classes: BTreeMap<ClassId, Class>,
+    pub(crate) next_hierarchy: u32,
 }
 
 impl Schema {

@@ -1,0 +1,483 @@
+//! State serialization hooks: a flat, plain-data image of the full
+//! database state, convertible to and from a live [`Database`].
+//!
+//! The storage layer uses this to write **snapshots** (checkpoints): a
+//! [`DatabaseState`] captures everything observable — the clock, every
+//! class (declarations, lifespan, c-attribute values, per-oid membership
+//! histories) and every object (lifespan, attributes, class history) —
+//! plus the little bookkeeping state (`next_oid`, hierarchy counters)
+//! needed so a database restored from the image behaves *identically* to
+//! the original under every subsequent operation.
+//!
+//! Derived structures that are pure functions of the primary state (the
+//! reverse-reference index, the time-sorted extent index checkpoints) are
+//! not stored; [`Database::import_state`] rebuilds them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tchimera_temporal::{HistoryError, Instant, Lifespan, TemporalEntry, TemporalValue, TimeBound};
+
+use crate::class::{AttrDecl, Class, ClassKind, MethodSig};
+use crate::database::Database;
+use crate::extent_index::Membership;
+use crate::ident::{AttrName, ClassId, MethodName, Oid};
+use crate::object::Object;
+use crate::ref_index::RefIndex;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A run of a temporal history: `[start, end]` with its value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunState<V> {
+    /// Run start.
+    pub start: Instant,
+    /// Run end (fixed, or still open at `now`).
+    pub end: TimeBound,
+    /// The value held over the run.
+    pub value: V,
+}
+
+/// The membership history of one oid in one class extent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MembershipState {
+    /// The member.
+    pub oid: Oid,
+    /// Its membership runs (`()`-valued boolean history).
+    pub runs: Vec<RunState<()>>,
+}
+
+/// The full state of one class (Definition 4.1 plus derived features).
+#[derive(Clone, Debug)]
+pub struct ClassState {
+    /// The class identifier.
+    pub id: ClassId,
+    /// `true` if the class is historical (has a temporal c-attribute).
+    pub historical: bool,
+    /// The class lifespan.
+    pub lifespan: Lifespan,
+    /// Attributes declared by the class itself.
+    pub own_attrs: Vec<AttrDecl>,
+    /// All instance attributes, inherited ones resolved.
+    pub all_attrs: Vec<AttrDecl>,
+    /// Methods declared by the class itself.
+    pub own_methods: Vec<(MethodName, MethodSig)>,
+    /// All methods, inherited ones resolved.
+    pub all_methods: Vec<(MethodName, MethodSig)>,
+    /// C-attribute declarations.
+    pub c_attrs: Vec<AttrDecl>,
+    /// C-operation signatures.
+    pub c_methods: Vec<(MethodName, MethodSig)>,
+    /// Current c-attribute values.
+    pub c_attr_values: Vec<(AttrName, Value)>,
+    /// Direct superclasses.
+    pub superclasses: Vec<ClassId>,
+    /// Direct subclasses.
+    pub subclasses: Vec<ClassId>,
+    /// ISA connected-component id.
+    pub hierarchy: u32,
+    /// Per-oid membership histories (`ext`), sorted by oid.
+    pub ext: Vec<MembershipState>,
+    /// Per-oid instance-of histories (`proper-ext`), sorted by oid.
+    pub proper_ext: Vec<MembershipState>,
+}
+
+/// The full state of one object (Definition 5.1).
+#[derive(Clone, Debug)]
+pub struct ObjectState {
+    /// The object identifier.
+    pub oid: Oid,
+    /// The object lifespan.
+    pub lifespan: Lifespan,
+    /// The attribute record.
+    pub attrs: Vec<(AttrName, Value)>,
+    /// The most-specific-class history.
+    pub class_history: Vec<RunState<ClassId>>,
+}
+
+/// The complete, self-contained image of a database.
+#[derive(Clone, Debug, Default)]
+pub struct DatabaseState {
+    /// The logical clock.
+    pub clock: Instant,
+    /// The next oid to assign.
+    pub next_oid: u64,
+    /// The next ISA hierarchy-component id.
+    pub next_hierarchy: u32,
+    /// Every class (tombstones included), sorted by id.
+    pub classes: Vec<ClassState>,
+    /// Every object (terminated included), sorted by oid.
+    pub objects: Vec<ObjectState>,
+}
+
+/// Errors raised while importing a [`DatabaseState`].
+#[derive(Debug)]
+pub enum StateError {
+    /// A temporal history in the image was ill-formed.
+    History(HistoryError),
+    /// A structural invariant of the image was violated.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::History(e) => write!(f, "state image holds an ill-formed history: {e}"),
+            StateError::Corrupt(what) => write!(f, "corrupt state image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<HistoryError> for StateError {
+    fn from(e: HistoryError) -> Self {
+        StateError::History(e)
+    }
+}
+
+fn export_history<V: Clone + Eq>(h: &TemporalValue<V>) -> Vec<RunState<V>> {
+    h.entries()
+        .iter()
+        .map(|e| RunState {
+            start: e.start,
+            end: e.end,
+            value: e.value.clone(),
+        })
+        .collect()
+}
+
+fn import_history<V: Clone + Eq>(runs: Vec<RunState<V>>) -> Result<TemporalValue<V>, StateError> {
+    Ok(TemporalValue::from_entries(
+        runs.into_iter()
+            .map(|r| TemporalEntry {
+                start: r.start,
+                end: r.end,
+                value: r.value,
+            })
+            .collect(),
+    )?)
+}
+
+fn export_membership(m: &Membership) -> Vec<MembershipState> {
+    let mut out: Vec<MembershipState> = m
+        .histories()
+        .iter()
+        .map(|(&oid, h)| MembershipState {
+            oid,
+            runs: export_history(h),
+        })
+        .collect();
+    // HashMap iteration order is nondeterministic; sort so two exports of
+    // the same database are byte-identical when serialized.
+    out.sort_by_key(|m| m.oid);
+    out
+}
+
+fn import_membership(states: Vec<MembershipState>) -> Result<Membership, StateError> {
+    let mut histories = std::collections::HashMap::with_capacity(states.len());
+    for s in states {
+        if histories
+            .insert(s.oid, import_history(s.runs)?)
+            .is_some()
+        {
+            return Err(StateError::Corrupt("duplicate oid in membership"));
+        }
+    }
+    Ok(Membership::from_histories(histories))
+}
+
+impl Database {
+    /// Export the complete database state as a flat image, suitable for
+    /// serialization. See [`Database::import_state`] for the inverse.
+    #[must_use]
+    pub fn export_state(&self) -> DatabaseState {
+        let classes = self
+            .schema
+            .classes
+            .values()
+            .map(|c| ClassState {
+                id: c.id.clone(),
+                historical: c.kind == ClassKind::Historical,
+                lifespan: c.lifespan,
+                own_attrs: c.own_attrs.values().cloned().collect(),
+                all_attrs: c.all_attrs.values().cloned().collect(),
+                own_methods: c
+                    .own_methods
+                    .iter()
+                    .map(|(n, s)| (n.clone(), s.clone()))
+                    .collect(),
+                all_methods: c
+                    .all_methods
+                    .iter()
+                    .map(|(n, s)| (n.clone(), s.clone()))
+                    .collect(),
+                c_attrs: c.c_attrs.values().cloned().collect(),
+                c_methods: c
+                    .c_methods
+                    .iter()
+                    .map(|(n, s)| (n.clone(), s.clone()))
+                    .collect(),
+                c_attr_values: c
+                    .c_attr_values
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.clone()))
+                    .collect(),
+                superclasses: c.superclasses.clone(),
+                subclasses: c.subclasses.clone(),
+                hierarchy: c.hierarchy,
+                ext: export_membership(&c.ext),
+                proper_ext: export_membership(&c.proper_ext),
+            })
+            .collect();
+        let objects = self
+            .objects
+            .values()
+            .map(|o| ObjectState {
+                oid: o.oid,
+                lifespan: o.lifespan,
+                attrs: o.attrs.iter().map(|(n, v)| (n.clone(), v.clone())).collect(),
+                class_history: export_history(&o.class_history),
+            })
+            .collect();
+        DatabaseState {
+            clock: self.clock,
+            next_oid: self.next_oid,
+            next_hierarchy: self.schema.next_hierarchy,
+            classes,
+            objects,
+        }
+    }
+
+    /// Rebuild a live database from an exported image. The result is
+    /// observably identical to the database that produced the image
+    /// (same state digest) and behaves identically under every
+    /// subsequent operation. Derived indexes (reverse references, the
+    /// time-sorted extent index) are reconstructed from the primary
+    /// state.
+    pub fn import_state(state: DatabaseState) -> Result<Database, StateError> {
+        let mut classes = BTreeMap::new();
+        for cs in state.classes {
+            let id = cs.id.clone();
+            let class = Class {
+                metaclass: id.metaclass(),
+                id: cs.id,
+                kind: if cs.historical {
+                    ClassKind::Historical
+                } else {
+                    ClassKind::Static
+                },
+                lifespan: cs.lifespan,
+                own_attrs: cs
+                    .own_attrs
+                    .into_iter()
+                    .map(|d| (d.name.clone(), d))
+                    .collect(),
+                all_attrs: cs
+                    .all_attrs
+                    .into_iter()
+                    .map(|d| (d.name.clone(), d))
+                    .collect(),
+                own_methods: cs.own_methods.into_iter().collect(),
+                all_methods: cs.all_methods.into_iter().collect(),
+                c_attrs: cs
+                    .c_attrs
+                    .into_iter()
+                    .map(|d| (d.name.clone(), d))
+                    .collect(),
+                c_methods: cs.c_methods.into_iter().collect(),
+                c_attr_values: cs.c_attr_values.into_iter().collect(),
+                superclasses: cs.superclasses,
+                subclasses: cs.subclasses,
+                hierarchy: cs.hierarchy,
+                ext: import_membership(cs.ext)?,
+                proper_ext: import_membership(cs.proper_ext)?,
+            };
+            if classes.insert(id, class).is_some() {
+                return Err(StateError::Corrupt("duplicate class id"));
+            }
+        }
+        let mut objects = BTreeMap::new();
+        for os in state.objects {
+            if os.oid.0 >= state.next_oid {
+                return Err(StateError::Corrupt("object oid beyond next_oid"));
+            }
+            let object = Object {
+                oid: os.oid,
+                lifespan: os.lifespan,
+                attrs: os.attrs.into_iter().collect(),
+                class_history: import_history(os.class_history)?,
+            };
+            if objects.insert(os.oid, object).is_some() {
+                return Err(StateError::Corrupt("duplicate oid"));
+            }
+        }
+        let mut db = Database {
+            schema: Schema {
+                classes,
+                next_hierarchy: state.next_hierarchy,
+            },
+            objects,
+            clock: state.clock,
+            next_oid: state.next_oid,
+            refs: RefIndex::default(),
+        };
+        let oids: Vec<Oid> = db.objects.keys().copied().collect();
+        for oid in oids {
+            db.reindex_refs(oid);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use crate::database::attrs;
+    use crate::types::Type;
+
+    fn populated() -> Database {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::new("person")
+                .immutable_attr("name", Type::temporal(Type::STRING))
+                .attr("address", Type::STRING),
+        )
+        .unwrap();
+        db.define_class(
+            ClassDef::new("employee")
+                .isa("person")
+                .attr("salary", Type::temporal(Type::INTEGER))
+                .c_attr("headcount", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        db.advance_to(Instant(10)).unwrap();
+        let i = db
+            .create_object(
+                &ClassId::from("employee"),
+                attrs([("name", Value::str("Ann")), ("salary", Value::Int(100))]),
+            )
+            .unwrap();
+        let j = db
+            .create_object(&ClassId::from("person"), attrs([("address", Value::str("Genova"))]))
+            .unwrap();
+        db.set_c_attr(&ClassId::from("employee"), &"headcount".into(), Value::Int(2))
+            .unwrap();
+        db.advance_to(Instant(20)).unwrap();
+        db.set_attr(i, &"salary".into(), Value::Int(150)).unwrap();
+        db.migrate(i, &ClassId::from("person"), crate::Attrs::new()).unwrap();
+        db.advance_to(Instant(30)).unwrap();
+        db.terminate_object(j).unwrap();
+        db
+    }
+
+    /// Observable-equality helper mirroring the storage crate's digest
+    /// (kept independent so core does not depend on storage).
+    fn observably_equal(a: &Database, b: &Database) -> bool {
+        if a.now() != b.now() || a.object_count() != b.object_count() {
+            return false;
+        }
+        for (ca, cb) in a.schema().classes().zip(b.schema().classes()) {
+            if ca.id != cb.id
+                || ca.lifespan != cb.lifespan
+                || ca.c_attr_values != cb.c_attr_values
+                || ca.all_attrs != cb.all_attrs
+            {
+                return false;
+            }
+            let mut ma: Vec<Oid> = ca.ever_members().collect();
+            let mut mb: Vec<Oid> = cb.ever_members().collect();
+            ma.sort();
+            mb.sort();
+            if ma != mb {
+                return false;
+            }
+            for &i in &ma {
+                if ca.membership_of(i, a.now()) != cb.membership_of(i, b.now())
+                    || ca.proper_membership_of(i, a.now()) != cb.proper_membership_of(i, b.now())
+                {
+                    return false;
+                }
+            }
+        }
+        a.objects().zip(b.objects()).all(|(oa, ob)| oa == ob)
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let db = populated();
+        let state = db.export_state();
+        let back = Database::import_state(state).unwrap();
+        assert!(observably_equal(&db, &back));
+        // Extent queries answer identically through the rebuilt index.
+        for t in [0u64, 10, 15, 20, 25, 30] {
+            let t = Instant(t);
+            for c in ["person", "employee"] {
+                let c = ClassId::from(c);
+                assert_eq!(db.pi(&c, t).unwrap(), back.pi(&c, t).unwrap());
+                assert_eq!(db.proper_pi(&c, t).unwrap(), back.proper_pi(&c, t).unwrap());
+            }
+        }
+        // Reverse-reference index rebuilt.
+        for o in db.objects() {
+            assert_eq!(db.referrers_of(o.oid), back.referrers_of(o.oid));
+        }
+    }
+
+    #[test]
+    fn imported_database_behaves_identically() {
+        let db = populated();
+        let mut a = db.clone();
+        let mut b = Database::import_state(db.export_state()).unwrap();
+        // Same subsequent operations produce the same observable state —
+        // including oid assignment and hierarchy bookkeeping.
+        for db in [&mut a, &mut b] {
+            db.advance_to(Instant(40)).unwrap();
+            let k = db
+                .create_object(&ClassId::from("employee"), attrs([("salary", Value::Int(7))]))
+                .unwrap();
+            db.define_class(ClassDef::new("vehicle")).unwrap();
+            db.set_attr(k, &"salary".into(), Value::Int(9)).unwrap();
+        }
+        assert!(observably_equal(&a, &b));
+        assert!(b.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn import_rejects_corrupt_images() {
+        let db = populated();
+        // Duplicate oid.
+        let mut s = db.export_state();
+        let dup = s.objects[0].clone();
+        s.objects.push(dup);
+        assert!(matches!(
+            Database::import_state(s),
+            Err(StateError::Corrupt("duplicate oid"))
+        ));
+        // Oid beyond next_oid.
+        let mut s = db.export_state();
+        s.next_oid = 0;
+        assert!(Database::import_state(s).is_err());
+        // Ill-formed history (overlapping runs).
+        let mut s = db.export_state();
+        s.objects[0].class_history = vec![
+            RunState {
+                start: Instant(5),
+                end: TimeBound::Fixed(Instant(10)),
+                value: ClassId::from("person"),
+            },
+            RunState {
+                start: Instant(7),
+                end: TimeBound::Now,
+                value: ClassId::from("person"),
+            },
+        ];
+        assert!(matches!(
+            Database::import_state(s),
+            Err(StateError::History(_))
+        ));
+        let err = StateError::Corrupt("x");
+        assert!(err.to_string().contains("corrupt"));
+    }
+}

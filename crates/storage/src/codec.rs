@@ -8,8 +8,8 @@
 use std::fmt;
 
 use tchimera_core::{
-    AttrDecl, AttrName, Attrs, ClassDef, ClassId, Instant, Interval, MethodName, MethodSig, Oid,
-    TemporalEntry, TemporalValue, TimeBound, Type, Value,
+    AttrDecl, AttrName, Attrs, ClassDef, ClassId, Instant, Interval, Lifespan, MethodName,
+    MethodSig, Oid, TemporalEntry, TemporalValue, TimeBound, Type, Value,
 };
 
 /// Errors raised while decoding.
@@ -158,6 +158,22 @@ impl Codec for u64 {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         read_u64(r)
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_u64(out, u64::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        u32::try_from(read_u64(r)?).map_err(|_| CodecError::Corrupt("u32 range"))
     }
 }
 
@@ -320,6 +336,22 @@ impl Codec for Interval {
                 Ok(Interval::new(lo, hi))
             }
             tag => Err(CodecError::InvalidTag { what: "interval", tag }),
+        }
+    }
+}
+
+impl Codec for Lifespan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.start().encode(out);
+        self.end().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let start = Instant::decode(r)?;
+        match TimeBound::decode(r)? {
+            TimeBound::Now => Ok(Lifespan::starting_at(start)),
+            TimeBound::Fixed(end) => {
+                Lifespan::closed(start, end).ok_or(CodecError::Corrupt("lifespan"))
+            }
         }
     }
 }
@@ -646,6 +678,13 @@ mod tests {
         round_trip(TimeBound::Fixed(Instant(7)));
         round_trip(Interval::from_ticks(3, 9));
         round_trip(Interval::EMPTY);
+        round_trip(Lifespan::starting_at(Instant(4)));
+        round_trip(Lifespan::closed(Instant(4), Instant(9)).unwrap());
+        // An inverted lifespan is rejected, not constructed.
+        let mut bad = Vec::new();
+        Instant(9).encode(&mut bad);
+        TimeBound::Fixed(Instant(4)).encode(&mut bad);
+        assert!(Lifespan::from_bytes(&bad).is_err());
         round_trip(Oid(123));
         round_trip(ClassId::from("project"));
         round_trip(AttrName::from("salary"));

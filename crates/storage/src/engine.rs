@@ -6,17 +6,36 @@
 //! is event-sourced: recovery replays the log through the *same*
 //! [`Operation::apply`] path used online, and a state digest cross-checks
 //! that a recovered database matches the one that wrote the log.
+//!
+//! # Checkpoints and recovery
+//!
+//! [`PersistentDatabase::checkpoint`] installs a checksummed snapshot of
+//! the full state (atomically: temp → fsync → rename → dir fsync) and
+//! compacts the log to an empty file whose header records how many
+//! operations the snapshot covers. Recovery then follows a ladder that
+//! can lose *time* but never *correctness*:
+//!
+//! 1. snapshot loads, its image imports, and the imported state's digest
+//!    matches the recorded one → start there, replay only the log suffix;
+//! 2. snapshot missing/corrupt but the log was never compacted (base 0)
+//!    → full-log replay from the empty database;
+//! 3. snapshot unusable *and* the log prefix was compacted away → a loud
+//!    error. The engine refuses to guess: it never serves a state it
+//!    cannot prove is a fold of the recorded history.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use tchimera_core::{
-    AttrName, Attrs, ClassDef, ClassId, Database, Instant, ModelError, Oid, Value,
+    AttrName, Attrs, ClassDef, ClassId, Database, Instant, ModelError, Oid, StateError, Value,
 };
 
 use crate::log::{LogError, OpLog};
 use crate::op::{Operation, ReplayError};
+use crate::snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
+use crate::vfs::{StdFs, Vfs};
 
 /// Errors raised by the persistent engine.
 #[derive(Debug)]
@@ -27,6 +46,20 @@ pub enum EngineError {
     Log(LogError),
     /// Recovery replay failed.
     Replay(ReplayError),
+    /// A snapshot state image was structurally invalid.
+    State(StateError),
+    /// The snapshot could not be loaded — and, because the log was
+    /// compacted, there is no full history to fall back to.
+    Snapshot(SnapshotError),
+    /// A transaction-time state below the compaction horizon was
+    /// requested; those operations were folded into the snapshot and no
+    /// longer exist individually.
+    Compacted {
+        /// The requested operation count.
+        requested: usize,
+        /// The earliest reconstructible operation count.
+        base: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -35,6 +68,15 @@ impl std::fmt::Display for EngineError {
             EngineError::Model(e) => write!(f, "{e}"),
             EngineError::Log(e) => write!(f, "{e}"),
             EngineError::Replay(e) => write!(f, "{e}"),
+            EngineError::State(e) => write!(f, "{e}"),
+            EngineError::Snapshot(e) => write!(
+                f,
+                "{e}, and the log was compacted — cannot recover without a snapshot"
+            ),
+            EngineError::Compacted { requested, base } => write!(
+                f,
+                "state at op {requested} was compacted away (earliest reconstructible: {base})"
+            ),
         }
     }
 }
@@ -56,6 +98,11 @@ impl From<ReplayError> for EngineError {
         EngineError::Replay(e)
     }
 }
+impl From<StateError> for EngineError {
+    fn from(e: StateError) -> Self {
+        EngineError::State(e)
+    }
+}
 
 /// A durable T_Chimera database: every accepted mutation is appended to an
 /// operation log before the call returns.
@@ -66,23 +113,89 @@ impl From<ReplayError> for EngineError {
 pub struct PersistentDatabase {
     db: Database,
     log: OpLog,
+    vfs: Arc<dyn Vfs>,
+    snap_path: PathBuf,
     recovered_ops: usize,
     recovered_torn: bool,
+    recovered_from_snapshot: bool,
+    recovered_replayed: usize,
+}
+
+/// The snapshot path belonging to the log at `path` (sibling file).
+pub fn snapshot_path(path: &Path) -> PathBuf {
+    path.with_extension("snap")
 }
 
 impl PersistentDatabase {
-    /// Open a database at `path`, replaying any existing log.
+    /// Open a database at `path` on the real filesystem, recovering from
+    /// the latest snapshot plus log suffix (or full replay).
     pub fn open(path: impl AsRef<Path>) -> Result<PersistentDatabase, EngineError> {
-        let (log, scan) = OpLog::open(path)?;
-        let mut db = Database::new();
-        for op in &scan.ops {
-            op.apply(&mut db)?;
-        }
+        Self::open_with(Arc::new(StdFs), path.as_ref())
+    }
+
+    /// Open a database at `path` through the given [`Vfs`].
+    pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<PersistentDatabase, EngineError> {
+        let snap_path = snapshot_path(path);
+        let (mut log, scan) = OpLog::open_with(Arc::clone(&vfs), path)?;
+        let base = scan.base_op;
+
+        // Rung 1: a loadable snapshot whose imported state digest-matches
+        // the digest recorded when it was written.
+        let usable = match load_snapshot(&vfs, &snap_path) {
+            Ok(snap) if snap.ops_covered >= base => match Database::import_state(snap.state) {
+                Ok(db) if digest_database(&db) == snap.digest => Some((db, snap.ops_covered)),
+                _ => None,
+            },
+            _ => None,
+        };
+
+        let (db, recovered_ops, recovered_replayed, from_snapshot) = match usable {
+            Some((mut db, covered)) => {
+                let skip = (covered - base) as usize;
+                if skip > scan.ops.len() {
+                    // The snapshot is ahead of the surviving log (a crash
+                    // ate the log between snapshot install and
+                    // compaction). The snapshot is durable and verified:
+                    // realign the log to it.
+                    log.compact_to(covered)?;
+                    (db, covered as usize, 0, true)
+                } else {
+                    for op in &scan.ops[skip..] {
+                        op.apply(&mut db)?;
+                    }
+                    let total = base as usize + scan.ops.len();
+                    (db, total, scan.ops.len() - skip, true)
+                }
+            }
+            // Rung 2: no usable snapshot, but the log holds the full
+            // history — replay it from the empty database.
+            None if base == 0 => {
+                let mut db = Database::new();
+                for op in &scan.ops {
+                    op.apply(&mut db)?;
+                }
+                (db, scan.ops.len(), scan.ops.len(), false)
+            }
+            // Rung 3: the prefix was compacted away and the snapshot that
+            // held it is unusable. Refuse loudly.
+            None => {
+                let err = match load_snapshot(&vfs, &snap_path) {
+                    Err(e) => e,
+                    Ok(_) => SnapshotError::Corrupt("state image rejected"),
+                };
+                return Err(EngineError::Snapshot(err));
+            }
+        };
+
         Ok(PersistentDatabase {
             db,
             log,
-            recovered_ops: scan.ops.len(),
+            vfs,
+            snap_path,
+            recovered_ops,
             recovered_torn: scan.torn_tail,
+            recovered_from_snapshot: from_snapshot,
+            recovered_replayed,
         })
     }
 
@@ -91,7 +204,7 @@ impl PersistentDatabase {
         &self.db
     }
 
-    /// Operations replayed at open.
+    /// Operations folded into the state at open (snapshot + replayed).
     pub fn recovered_ops(&self) -> usize {
         self.recovered_ops
     }
@@ -99,6 +212,23 @@ impl PersistentDatabase {
     /// `true` if a torn tail was truncated during recovery.
     pub fn recovered_torn_tail(&self) -> bool {
         self.recovered_torn
+    }
+
+    /// `true` if recovery started from a snapshot (rather than folding
+    /// the whole log from the empty database).
+    pub fn recovered_from_snapshot(&self) -> bool {
+        self.recovered_from_snapshot
+    }
+
+    /// Log operations individually replayed during recovery — with a
+    /// snapshot this is only the suffix, the point of checkpointing.
+    pub fn recovered_replayed(&self) -> usize {
+        self.recovered_replayed
+    }
+
+    /// Operations compacted into the snapshot (the log's header base).
+    pub fn base_op(&self) -> u64 {
+        self.log.base_op()
     }
 
     /// **Transaction-time travel**: reconstruct the database state as it
@@ -112,18 +242,45 @@ impl PersistentDatabase {
     /// Combined with the model's own `attr_at`, this yields bitemporal
     /// queries: "what did we *believe on transaction k* the salary was
     /// *at valid time t*?"
+    ///
+    /// States below the compaction horizon no longer exist as individual
+    /// operations and come back as [`EngineError::Compacted`].
     pub fn state_at_op(&mut self, k: usize) -> Result<Database, EngineError> {
         // Make buffered appends visible to the read-only scan.
         self.log.sync()?;
-        let scan = OpLog::scan_file(self.log.path())?;
-        let mut db = Database::new();
-        for op in scan.ops.iter().take(k) {
+        let buf = self.vfs.read(self.log.path()).map_err(LogError::from)?;
+        let scan = OpLog::scan_bytes(&buf);
+        let base = scan.base_op as usize;
+        if k < base {
+            return Err(EngineError::Compacted {
+                requested: k,
+                base: scan.base_op,
+            });
+        }
+        let (mut db, covered) = if base == 0 {
+            (Database::new(), 0)
+        } else {
+            let snap = self.load_own_snapshot()?;
+            let covered = snap.ops_covered as usize;
+            if k < covered {
+                return Err(EngineError::Compacted {
+                    requested: k,
+                    base: snap.ops_covered,
+                });
+            }
+            (Database::import_state(snap.state)?, covered)
+        };
+        for op in scan.ops.iter().skip(covered - base).take(k - covered) {
             op.apply(&mut db)?;
         }
         Ok(db)
     }
 
-    /// Number of operations currently in the log (recovered + appended).
+    fn load_own_snapshot(&self) -> Result<Snapshot, EngineError> {
+        load_snapshot(&self.vfs, &self.snap_path).map_err(EngineError::Snapshot)
+    }
+
+    /// Number of operations in the logical history (compacted + in-log).
     pub fn op_count(&self) -> usize {
         self.recovered_ops + self.log.appended() as usize
     }
@@ -144,9 +301,32 @@ impl PersistentDatabase {
         Ok(())
     }
 
-    /// Durably flush the log.
+    /// Durably flush the log. After this returns, every preceding
+    /// accepted mutation survives any crash.
     pub fn sync(&mut self) -> Result<(), EngineError> {
         self.log.sync()?;
+        Ok(())
+    }
+
+    /// Install a checkpoint: durably snapshot the current state, then
+    /// compact the log to an empty file whose header records the ops
+    /// covered. Recovery afterwards replays only operations appended
+    /// after this call.
+    ///
+    /// Crash-safe at every step: the log is synced before the snapshot
+    /// (the snapshot must never be *ahead* of durable history), the
+    /// snapshot installs atomically, and compaction replaces the log
+    /// atomically. A crash between the two leaves snapshot + full log —
+    /// recovery uses the snapshot and skips the covered prefix.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        self.log.sync()?;
+        let total = self.op_count() as u64;
+        let state = self.db.export_state();
+        let digest = digest_database(&self.db);
+        write_snapshot(&self.vfs, &self.snap_path, &state, total, digest)
+            .map_err(EngineError::Snapshot)?;
+        self.log.compact_to(total)?;
+        self.recovered_ops = total as usize;
         Ok(())
     }
 
@@ -266,6 +446,7 @@ pub fn digest_database(db: &Database) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{SimFs, TearMode};
     use std::path::PathBuf;
     use tchimera_core::{attrs, Type};
 
@@ -273,7 +454,13 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("tchimera-engine-{}-{}", std::process::id(), name));
         let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(snapshot_path(&p));
         p
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(snapshot_path(path));
     }
 
     fn populate(pdb: &mut PersistentDatabase) -> Oid {
@@ -313,6 +500,7 @@ mod tests {
         let pdb = PersistentDatabase::open(&path).unwrap();
         assert_eq!(pdb.recovered_ops(), 8);
         assert!(!pdb.recovered_torn_tail());
+        assert!(!pdb.recovered_from_snapshot());
         assert_eq!(pdb.state_digest(), digest);
         // Queryable history survives restart.
         let i = Oid(0);
@@ -327,7 +515,7 @@ mod tests {
                 .class_at(Instant(25), pdb.db().now()),
             Some(&ClassId::from("employee"))
         );
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -343,7 +531,7 @@ mod tests {
         // Recovery succeeds (a logged rejection would make replay fail).
         let pdb = PersistentDatabase::open(&path).unwrap();
         assert_eq!(pdb.recovered_ops(), 8);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -367,7 +555,7 @@ mod tests {
                 .current_class(pdb.db().now()),
             Some(&ClassId::from("employee"))
         );
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -382,7 +570,7 @@ mod tests {
         }
         let pdb = PersistentDatabase::open(&path).unwrap();
         assert_eq!(pdb.db().now(), Instant(2));
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -418,7 +606,7 @@ mod tests {
             tx6.attr_now(i, &"salary".into()).unwrap(),
             Value::Int(150)
         );
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -432,7 +620,140 @@ mod tests {
         assert_eq!(a.state_digest(), b.state_digest());
         a.advance_to(Instant(99)).unwrap();
         assert_ne!(a.state_digest(), b.state_digest());
-        std::fs::remove_file(&path1).unwrap();
-        std::fs::remove_file(&path2).unwrap();
+        cleanup(&path1);
+        cleanup(&path2);
+    }
+
+    #[test]
+    fn checkpoint_recovery_replays_only_the_suffix() {
+        let path = tmp("ckpt");
+        let digest = {
+            let mut pdb = PersistentDatabase::open(&path).unwrap();
+            populate(&mut pdb);
+            pdb.checkpoint().unwrap();
+            assert_eq!(pdb.base_op(), 8);
+            assert_eq!(pdb.op_count(), 8);
+            // Two more ops after the checkpoint.
+            pdb.advance_to(Instant(40)).unwrap();
+            pdb.set_attr(Oid(0), &"address".into(), Value::str("Genova"))
+                .unwrap();
+            pdb.sync().unwrap();
+            assert_eq!(pdb.op_count(), 10);
+            pdb.state_digest()
+        };
+        let pdb = PersistentDatabase::open(&path).unwrap();
+        assert!(pdb.recovered_from_snapshot());
+        assert_eq!(pdb.recovered_replayed(), 2, "only the suffix is replayed");
+        assert_eq!(pdb.recovered_ops(), 10);
+        assert_eq!(pdb.state_digest(), digest);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn state_at_op_respects_the_compaction_horizon() {
+        let path = tmp("ckpt-tx");
+        let mut pdb = PersistentDatabase::open(&path).unwrap();
+        populate(&mut pdb);
+        pdb.checkpoint().unwrap();
+        pdb.advance_to(Instant(40)).unwrap();
+        // Below the horizon: compacted away.
+        assert!(matches!(
+            pdb.state_at_op(5),
+            Err(EngineError::Compacted { requested: 5, base: 8 })
+        ));
+        // At the horizon: exactly the snapshot state.
+        let at = pdb.state_at_op(8).unwrap();
+        assert_eq!(at.now(), Instant(30));
+        // Above: snapshot plus suffix replay.
+        let after = pdb.state_at_op(9).unwrap();
+        assert_eq!(after.now(), Instant(40));
+        assert_eq!(digest_database(&after), pdb.state_digest());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_full_replay() {
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let path = PathBuf::from("db.log");
+        let digest = {
+            let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+            populate(&mut pdb);
+            pdb.checkpoint().unwrap();
+            pdb.advance_to(Instant(40)).unwrap();
+            pdb.sync().unwrap();
+            pdb.state_digest()
+        };
+        // Uncompacted log, damaged snapshot: full replay still works.
+        let fs2 = SimFs::new();
+        let vfs2: Arc<dyn Vfs> = Arc::new(fs2.clone());
+        let digest2 = {
+            let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs2), &path).unwrap();
+            populate(&mut pdb);
+            pdb.sync().unwrap();
+            // Install a snapshot, then corrupt it — but never compact.
+            write_snapshot(
+                &vfs2,
+                &snapshot_path(&path),
+                &pdb.db().export_state(),
+                8,
+                pdb.state_digest(),
+            )
+            .unwrap();
+            pdb.state_digest()
+        };
+        fs2.corrupt_byte(&snapshot_path(&path), 40, 0x01).unwrap();
+        let pdb = PersistentDatabase::open_with(Arc::clone(&vfs2), &path).unwrap();
+        assert!(!pdb.recovered_from_snapshot(), "corrupt snapshot must be ignored");
+        assert_eq!(pdb.recovered_ops(), 8);
+        assert_eq!(pdb.state_digest(), digest2);
+
+        // Compacted log + damaged snapshot: recovery must refuse loudly,
+        // not serve a wrong state.
+        fs.corrupt_byte(&snapshot_path(&path), 40, 0x01).unwrap();
+        match PersistentDatabase::open_with(vfs, &path) {
+            Err(EngineError::Snapshot(_)) => {}
+            Ok(pdb) => panic!(
+                "recovered digest {:x} from a corrupt snapshot with a compacted log",
+                pdb.state_digest()
+            ),
+            Err(e) => panic!("wrong error: {e}"),
+        }
+        let _ = digest;
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_compaction_recovers() {
+        // Checkpoint = sync → snapshot install → log compaction. Fail the
+        // compaction: on reopen the snapshot covers the whole log, the
+        // suffix to replay is empty, and the state digest still matches.
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let path = PathBuf::from("db.log");
+        let digest = {
+            let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+            populate(&mut pdb);
+            pdb.sync().unwrap();
+            let d = pdb.state_digest();
+            // Allow the snapshot install (6 ops: trunc-open, write, sync,
+            // rename, dir-sync ... ) but kill compaction's first I/O.
+            write_snapshot(
+                &vfs,
+                &snapshot_path(&path),
+                &pdb.db().export_state(),
+                8,
+                d,
+            )
+            .unwrap();
+            fs.fail_after(Some(0));
+            assert!(pdb.checkpoint().is_err(), "injected fault must surface");
+            d
+        };
+        fs.crash(TearMode::KeepHalf);
+        let pdb = PersistentDatabase::open_with(vfs, &path).unwrap();
+        assert!(pdb.recovered_from_snapshot());
+        assert_eq!(pdb.recovered_replayed(), 0);
+        assert_eq!(pdb.recovered_ops(), 8);
+        assert_eq!(pdb.state_digest(), digest);
     }
 }

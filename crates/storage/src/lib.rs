@@ -10,11 +10,18 @@
 //!   database mutation, with a single `apply` path shared by online
 //!   execution and recovery.
 //! * [`log`] — the CRC-framed append-only [`log::OpLog`] with torn-tail
-//!   truncation.
+//!   truncation, damage reporting and header-based compaction.
+//! * [`vfs`] — the pluggable [`vfs::Vfs`] I/O layer: [`vfs::StdFs`] for
+//!   real disks and the deterministic fault-injection [`vfs::SimFs`]
+//!   (fail at the Nth write, tear unsynced data, flip bits, simulate
+//!   crashes that drop everything not fsynced).
+//! * [`snapshot`] — checksummed, atomically-installed checkpoints of the
+//!   full database state, enabling log compaction and fast recovery.
 //! * [`engine`] — [`engine::PersistentDatabase`], an event-sourced,
-//!   write-ahead-logged database with replay recovery and state digests.
-//!   (T_Chimera state is a pure fold of its history — the model's own
-//!   valid-time semantics make event sourcing the natural storage design.)
+//!   write-ahead-logged database with snapshot + suffix-replay recovery
+//!   and state digests. (T_Chimera state is a pure fold of its history —
+//!   the model's own valid-time semantics make event sourcing the natural
+//!   storage design.)
 //! * [`index`] — [`index::IntervalTree`] and [`index::TemporalIndex`] for
 //!   `O(log n + k)` time-travel queries (who existed / was a member at
 //!   `t`?).
@@ -27,9 +34,13 @@ pub mod engine;
 pub mod index;
 pub mod log;
 pub mod op;
+pub mod snapshot;
+pub mod vfs;
 
 pub use codec::{Codec, CodecError, Reader};
-pub use engine::{digest_database, EngineError, PersistentDatabase};
+pub use engine::{digest_database, snapshot_path, EngineError, PersistentDatabase};
 pub use index::{IntervalTree, TemporalIndex};
-pub use log::{LogError, LogScan, OpLog};
+pub use log::{DamageReason, LogError, LogScan, OpLog, TailDamage};
 pub use op::{Operation, ReplayError};
+pub use snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
+pub use vfs::{SimFs, StdFs, TearMode, Vfs, VfsFile};

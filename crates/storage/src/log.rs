@@ -1,18 +1,36 @@
 //! The append-only operation log.
 //!
 //! Record framing: `[len: u32 LE][crc32: u32 LE][payload: len bytes]`,
-//! where the CRC covers the payload. Recovery scans records until EOF or
-//! the first damaged record (torn tail after a crash), truncating the rest.
+//! where the CRC covers the payload. A compacted log starts with a
+//! 20-byte header — the magic `TCLOG001`, a u64 LE *base* (the number of
+//! operations that were folded into a snapshot and dropped from the
+//! log), and a u32 LE CRC of the base field: a flipped bit in the base
+//! must be *detected*, never silently shift the replay origin.
+//! Headerless files read as base 0 (the pre-compaction format).
+//!
+//! Recovery scans records until EOF or the first damaged record — a torn
+//! frame, a checksum mismatch, or a CRC-valid but undecodable payload —
+//! truncating everything from the damage point on and reporting the
+//! offset in [`LogScan::damage`]. All I/O goes through the pluggable
+//! [`Vfs`] layer so the crash-matrix tests can run the identical code
+//! against a fault-injecting filesystem.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::codec::{Codec, CodecError, Reader};
 use crate::op::Operation;
+use crate::vfs::{StdFs, Vfs, VfsFile};
+
+/// Magic prefix of a log file carrying a compaction header.
+pub const LOG_MAGIC: &[u8; 8] = b"TCLOG001";
+
+/// Byte length of the compaction header (magic + u64 base + u32 CRC).
+const HEADER_LEN: u64 = 20;
 
 /// CRC-32 (IEEE 802.3), bitwise implementation with a lazily built table.
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     fn table() -> &'static [u32; 256] {
         use std::sync::OnceLock;
         static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
@@ -34,6 +52,14 @@ fn crc32(data: &[u8]) -> u32 {
         c = t[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
+}
+
+/// The directory holding `path`, for post-create/rename fsyncs.
+pub(crate) fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
 }
 
 /// Errors raised by the log.
@@ -63,97 +89,190 @@ impl From<io::Error> for LogError {
     }
 }
 
+/// Why a log tail was declared damaged.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DamageReason {
+    /// The frame header or payload extends past EOF (torn write).
+    TruncatedFrame,
+    /// The payload does not match its recorded CRC (bit rot / torn write).
+    ChecksumMismatch,
+    /// The CRC was valid but the payload is not a well-formed operation.
+    Undecodable(CodecError),
+}
+
+/// A damaged tail found while scanning: everything from `offset` on is
+/// unusable and gets truncated so appends can resume from the valid
+/// prefix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailDamage {
+    /// Byte offset at which the damage begins (= the valid prefix length).
+    pub offset: u64,
+    /// What was wrong at that offset.
+    pub reason: DamageReason,
+}
+
 /// The outcome of opening a log: the decoded operations plus tail
 /// diagnostics.
 pub struct LogScan {
     /// All intact operations, in append order.
     pub ops: Vec<Operation>,
+    /// Operations compacted away before this file's first record (the
+    /// header base; 0 for headerless logs).
+    pub base_op: u64,
     /// Bytes of valid prefix.
     pub valid_len: u64,
     /// `true` if a torn/corrupt tail was found (and will be truncated on
     /// the next append).
     pub torn_tail: bool,
+    /// Where and why the tail was damaged, when `torn_tail` is set.
+    pub damage: Option<TailDamage>,
 }
 
 /// An append-only, CRC-framed operation log backed by a single file.
 pub struct OpLog {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     len: u64,
     appended: u64,
+    base: u64,
 }
 
 impl OpLog {
-    /// Open (or create) the log at `path` and scan its contents.
+    /// Open (or create) the log at `path` on the real filesystem and scan
+    /// its contents.
     pub fn open(path: impl AsRef<Path>) -> Result<(OpLog, LogScan), LogError> {
-        let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(&path)?;
-        let mut buf = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut buf)?;
-        let scan = Self::scan(&buf)?;
+        Self::open_with(Arc::new(StdFs), path.as_ref())
+    }
+
+    /// Open (or create) the log at `path` through the given [`Vfs`].
+    ///
+    /// Durability discipline: a freshly created log file is followed by an
+    /// fsync of its parent directory (a crash right after create must not
+    /// lose the file), and a torn-tail truncation is itself fsynced (the
+    /// truncate must not un-happen after appends resume).
+    pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<(OpLog, LogScan), LogError> {
+        let path = path.to_path_buf();
+        let existed = vfs.exists(&path);
+        let mut file = vfs.open_append(&path)?;
+        if !existed {
+            vfs.sync_dir(&parent_dir(&path))?;
+        }
+        let buf = vfs.read(&path)?;
+        let scan = Self::scan_bytes(&buf);
         if scan.torn_tail {
             // Truncate the damaged tail so appends resume from the valid
-            // prefix.
+            // prefix, and make the truncation durable before anything is
+            // appended after it.
             file.set_len(scan.valid_len)?;
+            file.sync()?;
         }
-        file.seek(SeekFrom::End(0))?;
         let len = scan.valid_len;
+        let base = scan.base_op;
         Ok((
             OpLog {
+                vfs,
                 file,
                 path,
                 len,
                 appended: 0,
+                base,
             },
             scan,
         ))
     }
 
-    fn scan(buf: &[u8]) -> Result<LogScan, LogError> {
-        let mut ops = Vec::new();
+    /// Scan raw log bytes: decode the header (if any) and every intact
+    /// record, stopping at the first damage. Never fails — damage is
+    /// reported in the scan, not raised.
+    pub fn scan_bytes(buf: &[u8]) -> LogScan {
         let mut pos = 0usize;
-        let mut torn = false;
-        while pos < buf.len() {
+        let mut base_op = 0u64;
+        let mut damage: Option<TailDamage> = None;
+        if buf.len() >= LOG_MAGIC.len() && buf[..LOG_MAGIC.len()] == LOG_MAGIC[..] {
+            if buf.len() < HEADER_LEN as usize {
+                // A torn header: nothing usable in the file.
+                damage = Some(TailDamage {
+                    offset: 0,
+                    reason: DamageReason::TruncatedFrame,
+                });
+            } else if crc32(&buf[8..16]) != u32::from_le_bytes(buf[16..20].try_into().unwrap()) {
+                // A corrupted base would silently shift the replay origin
+                // — refuse the whole file instead.
+                damage = Some(TailDamage {
+                    offset: 0,
+                    reason: DamageReason::ChecksumMismatch,
+                });
+            } else {
+                base_op = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+                pos = HEADER_LEN as usize;
+            }
+        }
+        let mut ops = Vec::new();
+        while damage.is_none() && pos < buf.len() {
             if buf.len() - pos < 8 {
-                torn = true;
+                damage = Some(TailDamage {
+                    offset: pos as u64,
+                    reason: DamageReason::TruncatedFrame,
+                });
                 break;
             }
             let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
             let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
             if buf.len() - pos - 8 < len {
-                torn = true;
+                damage = Some(TailDamage {
+                    offset: pos as u64,
+                    reason: DamageReason::TruncatedFrame,
+                });
                 break;
             }
             let payload = &buf[pos + 8..pos + 8 + len];
             if crc32(payload) != crc {
-                torn = true;
+                damage = Some(TailDamage {
+                    offset: pos as u64,
+                    reason: DamageReason::ChecksumMismatch,
+                });
                 break;
             }
             let mut r = Reader::new(payload);
-            let op = Operation::decode(&mut r).map_err(LogError::Decode)?;
-            if !r.is_empty() {
-                return Err(LogError::Decode(CodecError::Corrupt("trailing bytes")));
+            // A CRC-valid but undecodable record is damage at this offset
+            // like any other — truncate and report, never abort recovery.
+            match Operation::decode(&mut r) {
+                Ok(op) if r.is_empty() => ops.push(op),
+                Ok(_) => {
+                    damage = Some(TailDamage {
+                        offset: pos as u64,
+                        reason: DamageReason::Undecodable(CodecError::Corrupt(
+                            "trailing bytes",
+                        )),
+                    });
+                    break;
+                }
+                Err(e) => {
+                    damage = Some(TailDamage {
+                        offset: pos as u64,
+                        reason: DamageReason::Undecodable(e),
+                    });
+                    break;
+                }
             }
-            ops.push(op);
             pos += 8 + len;
         }
-        Ok(LogScan {
+        let valid_len = damage.as_ref().map_or(pos as u64, |d| d.offset);
+        LogScan {
             ops,
-            valid_len: pos as u64,
-            torn_tail: torn,
-        })
+            base_op,
+            valid_len,
+            torn_tail: damage.is_some(),
+            damage,
+        }
     }
 
     /// Scan a log file read-only (no truncation of torn tails, no handle
     /// kept). Used for transaction-time inspection of a live log.
     pub fn scan_file(path: impl AsRef<Path>) -> Result<LogScan, LogError> {
         let buf = std::fs::read(path)?;
-        Self::scan(&buf)
+        Ok(Self::scan_bytes(&buf))
     }
 
     /// Append one operation (buffered; call [`OpLog::sync`] to make it
@@ -172,9 +291,37 @@ impl OpLog {
 
     /// Flush and fsync.
     pub fn sync(&mut self) -> Result<(), LogError> {
-        self.file.flush()?;
-        self.file.sync_data()?;
+        self.file.sync()?;
         Ok(())
+    }
+
+    /// Replace the log with an empty one whose header records that the
+    /// first `base` operations live in a snapshot (log compaction). The
+    /// swap is atomic and durable: write a temp file, fsync it, rename
+    /// over the log, fsync the directory. On return this handle appends
+    /// to the fresh log and [`OpLog::appended`] restarts from 0.
+    pub fn compact_to(&mut self, base: u64) -> Result<(), LogError> {
+        let tmp = self.path.with_extension("log.tmp");
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(LOG_MAGIC);
+        header.extend_from_slice(&base.to_le_bytes());
+        header.extend_from_slice(&crc32(&base.to_le_bytes()).to_le_bytes());
+        let mut f = self.vfs.open_trunc(&tmp)?;
+        f.write_all(&header)?;
+        f.sync()?;
+        drop(f);
+        self.vfs.rename(&tmp, &self.path)?;
+        self.vfs.sync_dir(&parent_dir(&self.path))?;
+        self.file = self.vfs.open_append(&self.path)?;
+        self.len = HEADER_LEN;
+        self.appended = 0;
+        self.base = base;
+        Ok(())
+    }
+
+    /// Operations compacted away before this log's first record.
+    pub fn base_op(&self) -> u64 {
+        self.base
     }
 
     /// Current byte length of the valid log.
@@ -182,7 +329,8 @@ impl OpLog {
         self.len
     }
 
-    /// Operations appended through this handle.
+    /// Operations appended through this handle (since open or the last
+    /// compaction).
     pub fn appended(&self) -> u64 {
         self.appended
     }
@@ -196,6 +344,7 @@ impl OpLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::SimFs;
     use tchimera_core::{ClassDef, ClassId, Instant};
 
     fn tmp(name: &str) -> PathBuf {
@@ -233,6 +382,8 @@ mod tests {
         let (log, scan) = OpLog::open(&path).unwrap();
         assert_eq!(scan.ops.len(), 3);
         assert!(!scan.torn_tail);
+        assert!(scan.damage.is_none());
+        assert_eq!(scan.base_op, 0);
         assert_eq!(scan.valid_len, log.len_bytes());
         std::fs::remove_file(&path).unwrap();
     }
@@ -253,6 +404,9 @@ mod tests {
         let (mut log, scan) = OpLog::open(&path).unwrap();
         assert!(scan.torn_tail);
         assert_eq!(scan.ops.len(), 2); // last record lost
+        let damage = scan.damage.expect("damage reported");
+        assert_eq!(damage.offset, scan.valid_len);
+        assert_eq!(damage.reason, DamageReason::TruncatedFrame);
         // The file was truncated to the valid prefix; appends resume.
         log.append(&Operation::AdvanceTo(Instant(9))).unwrap();
         log.sync().unwrap();
@@ -281,6 +435,90 @@ mod tests {
         assert!(scan.torn_tail);
         assert!(scan.ops.len() < 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undecodable_record_is_damage_not_abort() {
+        // A frame whose CRC is valid but whose payload is garbage: scan
+        // must truncate at that record's offset, keeping the prefix.
+        let op = Operation::AdvanceTo(Instant(5));
+        let payload = op.to_bytes();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let good_len = buf.len() as u64;
+        let garbage = [0xfeu8, 0xff, 0xff];
+        buf.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&garbage).to_le_bytes());
+        buf.extend_from_slice(&garbage);
+        let scan = OpLog::scan_bytes(&buf);
+        assert_eq!(scan.ops.len(), 1);
+        assert_eq!(scan.valid_len, good_len);
+        let damage = scan.damage.expect("undecodable tail reported");
+        assert_eq!(damage.offset, good_len);
+        assert!(matches!(damage.reason, DamageReason::Undecodable(_)));
+    }
+
+    #[test]
+    fn compaction_rewrites_header_and_resets_log() {
+        let path = tmp("compact");
+        let (mut log, _) = OpLog::open(&path).unwrap();
+        for op in sample_ops() {
+            log.append(&op).unwrap();
+        }
+        log.sync().unwrap();
+        log.compact_to(3).unwrap();
+        assert_eq!(log.base_op(), 3);
+        assert_eq!(log.appended(), 0);
+        log.append(&Operation::AdvanceTo(Instant(9))).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (log, scan) = OpLog::open(&path).unwrap();
+        assert_eq!(scan.base_op, 3);
+        assert_eq!(log.base_op(), 3);
+        assert_eq!(scan.ops.len(), 1);
+        assert!(!scan.torn_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unsynced_log_creation_survives_via_dir_sync() {
+        // The open path fsyncs the parent directory after creating the
+        // file, so a crash immediately after open cannot lose the log.
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let path = PathBuf::from("wal.log");
+        let (log, _) = OpLog::open_with(Arc::clone(&vfs), &path).unwrap();
+        drop(log);
+        fs.crash(crate::vfs::TearMode::DropAll);
+        assert!(fs.exists(&path), "log file lost after crash-after-create");
+    }
+
+    #[test]
+    fn torn_tail_truncation_is_synced() {
+        // Write two records, sync, append a third, crash keeping half the
+        // unsynced write; reopen truncates the torn tail and syncs that
+        // truncation — a second crash must not resurrect the torn bytes.
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let path = PathBuf::from("wal.log");
+        {
+            let (mut log, _) = OpLog::open_with(Arc::clone(&vfs), &path).unwrap();
+            log.append(&Operation::AdvanceTo(Instant(1))).unwrap();
+            log.append(&Operation::AdvanceTo(Instant(2))).unwrap();
+            log.sync().unwrap();
+            log.append(&Operation::DefineClass(ClassDef::new("c"))).unwrap();
+        }
+        fs.crash(crate::vfs::TearMode::KeepHalf);
+        let (log, scan) = OpLog::open_with(Arc::clone(&vfs), &path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.ops.len(), 2);
+        drop(log);
+        fs.crash(crate::vfs::TearMode::KeepAll);
+        let (_, scan) = OpLog::open_with(vfs, &path).unwrap();
+        assert!(!scan.torn_tail, "truncation was not durable");
+        assert_eq!(scan.ops.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! The crash matrix: simulate a whole-machine crash after **every**
+//! individual I/O operation of a scripted ≥200-op workload, under every
+//! tear mode, and prove recovery always lands on a digest-identical
+//! prefix state — never a silently wrong one — and never loses an
+//! operation that was durable (synced or checkpointed) at crash time.
+//!
+//! The method: run the workload once fault-free against [`SimFs`],
+//! recording the state digest after every logical operation (the set of
+//! *valid prefix states*) and the total number of I/O operations `M`.
+//! Then, for each `k < M`, re-run on a fresh `SimFs` that fails every
+//! I/O from the `k`-th on, crash with a given [`TearMode`], recover
+//! through the ordinary [`PersistentDatabase::open_with`] path, and
+//! check the recovered digest against the prefix table.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tchimera_core::{attrs, Attrs, ClassDef, ClassId, Instant, Oid, Type, Value};
+use tchimera_storage::{PersistentDatabase, SimFs, TearMode, Vfs};
+
+/// Logical mutations in the scripted workload (plus 2 class defines).
+const STEPS: usize = 210;
+
+/// What a (possibly fault-interrupted) workload run observed.
+struct RunTrace {
+    /// `digests[n]` = state digest after the first `n` logical ops.
+    /// Only recorded when `record_digests` is set (the reference run).
+    digests: Vec<u64>,
+    /// Logical ops performed (accepted by model + appended to the log).
+    performed: usize,
+    /// Logical ops guaranteed durable by the last successful sync or
+    /// checkpoint — recovery must never come back with fewer.
+    floor: usize,
+    /// The run finished all steps without an I/O fault.
+    completed: bool,
+}
+
+/// Drive the scripted workload against an engine on `vfs`. Deterministic:
+/// every run performs the identical operation sequence until (possibly)
+/// interrupted by an injected fault, at which point it stops.
+fn run_workload(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+    checkpoint_at: Option<usize>,
+    record_digests: bool,
+) -> RunTrace {
+    let mut trace = RunTrace {
+        digests: Vec::new(),
+        performed: 0,
+        floor: 0,
+        completed: false,
+    };
+    let mut pdb = match PersistentDatabase::open_with(Arc::clone(vfs), path) {
+        Ok(p) => p,
+        Err(_) => return trace,
+    };
+    if record_digests {
+        trace.digests.push(pdb.state_digest());
+    }
+    // One logical op: bail out on the injected fault, otherwise record.
+    macro_rules! op {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => {
+                    trace.performed += 1;
+                    if record_digests {
+                        trace.digests.push(pdb.state_digest());
+                    }
+                    v
+                }
+                Err(_) => return trace,
+            }
+        };
+    }
+    let person = ClassId::from("person");
+    let employee = ClassId::from("employee");
+    op!(pdb.define_class(ClassDef::new("person").attr("address", Type::STRING)));
+    op!(pdb.define_class(
+        ClassDef::new("employee")
+            .isa("person")
+            .attr("salary", Type::temporal(Type::INTEGER))
+    ));
+    let mut alive: Vec<Oid> = Vec::new();
+    for i in 0..STEPS {
+        match i % 11 {
+            0 => {
+                let t = Instant(pdb.db().now().ticks() + 1);
+                op!(pdb.advance_to(t));
+            }
+            1 | 4 | 8 => {
+                let oid = op!(pdb.create_object(
+                    &employee,
+                    attrs([("salary", Value::Int(i as i64)), ("address", Value::str("Pisa"))]),
+                ));
+                alive.push(oid);
+            }
+            9 if alive.len() > 2 => {
+                let oid = alive.remove(0);
+                op!(pdb.terminate_object(oid));
+            }
+            10 if alive.len() > 2 => {
+                let oid = alive.remove(0);
+                op!(pdb.migrate(oid, &person, Attrs::new()));
+            }
+            _ => {
+                if alive.is_empty() {
+                    let oid = op!(pdb.create_object(
+                        &employee,
+                        attrs([("salary", Value::Int(i as i64)), ("address", Value::str("Pisa"))]),
+                    ));
+                    alive.push(oid);
+                } else {
+                    let oid = alive[i % alive.len()];
+                    op!(pdb.set_attr(oid, &"salary".into(), Value::Int(i as i64)));
+                }
+            }
+        }
+        if i % 13 == 5 {
+            if pdb.sync().is_err() {
+                return trace;
+            }
+            trace.floor = pdb.op_count();
+        }
+        if checkpoint_at == Some(i) {
+            if pdb.checkpoint().is_err() {
+                return trace;
+            }
+            trace.floor = pdb.op_count();
+        }
+    }
+    if pdb.sync().is_err() {
+        return trace;
+    }
+    trace.floor = pdb.op_count();
+    trace.completed = true;
+    trace
+}
+
+/// The matrix proper: crash after every I/O op under `tear`, recover,
+/// compare against the reference prefix digests.
+fn crash_matrix(checkpoint_at: Option<usize>, tear: TearMode) {
+    let path = PathBuf::from("wal.log");
+
+    let ref_fs = SimFs::new();
+    let ref_vfs: Arc<dyn Vfs> = Arc::new(ref_fs.clone());
+    let reference = run_workload(&ref_vfs, &path, checkpoint_at, true);
+    assert!(reference.completed, "reference run must be fault-free");
+    assert!(
+        reference.performed >= 200,
+        "workload too small: {} ops",
+        reference.performed
+    );
+    let total_io = ref_fs.op_count();
+
+    for k in 0..total_io {
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        fs.fail_after(Some(k));
+        let interrupted = run_workload(&vfs, &path, checkpoint_at, false);
+        assert!(
+            !interrupted.completed,
+            "fault at I/O op {k} of {total_io} never fired"
+        );
+        fs.crash(tear);
+
+        let pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path)
+            .unwrap_or_else(|e| panic!("crash at I/O op {k} ({tear:?}): recovery failed: {e}"));
+        let recovered = pdb.recovered_ops();
+        assert!(
+            recovered <= interrupted.performed,
+            "crash at I/O op {k} ({tear:?}): recovered {recovered} ops, only {} were performed",
+            interrupted.performed
+        );
+        assert!(
+            recovered >= interrupted.floor,
+            "crash at I/O op {k} ({tear:?}): durable ops lost (floor {}, recovered {recovered})",
+            interrupted.floor
+        );
+        assert_eq!(
+            pdb.state_digest(),
+            reference.digests[recovered],
+            "crash at I/O op {k} ({tear:?}): recovered state is not the prefix state at op {recovered}"
+        );
+    }
+}
+
+#[test]
+fn crash_matrix_drop_all() {
+    crash_matrix(Some(105), TearMode::DropAll);
+}
+
+#[test]
+fn crash_matrix_keep_half() {
+    crash_matrix(Some(105), TearMode::KeepHalf);
+}
+
+#[test]
+fn crash_matrix_keep_all() {
+    crash_matrix(Some(105), TearMode::KeepAll);
+}
+
+#[test]
+fn crash_matrix_without_checkpoint() {
+    crash_matrix(None, TearMode::KeepHalf);
+}
+
+#[test]
+fn checkpoint_recovery_replays_only_the_suffix() {
+    let path = PathBuf::from("wal.log");
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let reference = run_workload(&vfs, &path, Some(105), true);
+    assert!(reference.completed);
+
+    let pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+    assert!(pdb.recovered_from_snapshot());
+    assert_eq!(pdb.recovered_ops(), reference.performed);
+    assert!(
+        pdb.recovered_replayed() < reference.performed / 2,
+        "checkpoint did not shorten replay: {} of {}",
+        pdb.recovered_replayed(),
+        reference.performed
+    );
+    assert_eq!(pdb.state_digest(), reference.digests[reference.performed]);
+
+    // The same workload without a checkpoint replays everything.
+    let fs2 = SimFs::new();
+    let vfs2: Arc<dyn Vfs> = Arc::new(fs2.clone());
+    let full = run_workload(&vfs2, &path, None, false);
+    assert!(full.completed);
+    let pdb2 = PersistentDatabase::open_with(vfs2, &path).unwrap();
+    assert!(!pdb2.recovered_from_snapshot());
+    assert_eq!(pdb2.recovered_replayed(), full.performed);
+    assert!(pdb2.recovered_replayed() > pdb.recovered_replayed());
+}
