@@ -373,6 +373,7 @@ impl Database {
     /// of the database size — the check to run after `create_object`,
     /// `set_attr` or `migrate` of `oid`.
     pub fn check_object_refs(&self, oid: Oid) -> Result<ConsistencyReport> {
+        let _span = tchimera_obs::span!("core.check_refs", oid = oid.0);
         let o = self.object(oid)?;
         let mut report = ConsistencyReport::default();
         self.check_refs_of_into(o, None, &mut report);
@@ -384,6 +385,7 @@ impl Database {
     /// `O(referrers)` instead of a database scan — the check to run after
     /// `terminate_object(target)`.
     pub fn check_refs_to(&self, target: Oid) -> ConsistencyReport {
+        let _span = tchimera_obs::span!("core.check_refs", target = target.0);
         let mut report = ConsistencyReport::default();
         for referrer in self.referrers_of(target) {
             if let Ok(o) = self.object(referrer) {
@@ -408,8 +410,10 @@ impl Database {
     /// is enabled; errors are reported in oid order either way.
     pub fn check_referential_integrity(&self) -> ConsistencyReport {
         let objs: Vec<&Object> = self.objects().collect();
+        let _span = tchimera_obs::span!("core.check_refs", objects = objs.len());
         let mut report = ConsistencyReport::default();
         for r in map_items(&objs, |o| {
+            tchimera_obs::counter!("core.consistency.par_items").inc();
             let mut r = ConsistencyReport::default();
             self.check_refs_of_into(o, None, &mut r);
             r
@@ -429,10 +433,15 @@ impl Database {
     /// order — to [`Database::check_database_serial`].
     pub fn check_database(&self) -> ConsistencyReport {
         let objs: Vec<&Object> = self.objects().collect();
+        let _span = tchimera_obs::span!("core.check_database", objects = objs.len());
+        tchimera_obs::gauge!("core.consistency.workers").set(worker_count() as i64);
         // One fan-out computes both halves per object while its data is
         // hot; the reports are then stitched back in the serial order
-        // (every object error, then every referential error).
+        // (every object error, then every referential error). The
+        // `par_items` counter ticks on the worker threads themselves, so
+        // it measures what the rayon pool actually executed.
         let pairs = map_items(&objs, |o| {
+            tchimera_obs::counter!("core.consistency.par_items").inc();
             let mut refs = ConsistencyReport::default();
             self.check_refs_of_into(o, None, &mut refs);
             (self.check_object(o.oid).unwrap_or_default(), refs)
@@ -444,6 +453,8 @@ impl Database {
         for (_, refs) in pairs {
             report.errors.extend(refs.errors);
         }
+        tchimera_obs::counter!("core.consistency.objects_checked").add(objs.len() as u64);
+        tchimera_obs::counter!("core.consistency.errors").add(report.len() as u64);
         report
     }
 
@@ -480,6 +491,19 @@ fn map_items<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U
     }
 }
 
+/// Number of worker threads the parallel checkers fan out over (1 in a
+/// serial build). Reported through the `core.consistency.workers` gauge.
+fn worker_count() -> usize {
+    #[cfg(feature = "rayon")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "rayon"))]
+    {
+        1
+    }
+}
+
 /// OID-UNIQUENESS (Definition 5.6, condition 1) over an arbitrary
 /// collection: two objects with the same oid must agree on lifespan, value
 /// and class history.
@@ -488,6 +512,7 @@ fn map_items<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U
 /// comparisons of duplicate pairs run in parallel (under the default
 /// `rayon` feature), preserving the serial error order.
 pub fn check_oid_uniqueness(objects: &[crate::object::Object]) -> ConsistencyReport {
+    let _span = tchimera_obs::span!("core.check_oid_uniqueness", objects = objects.len());
     let mut last_seen: std::collections::HashMap<Oid, usize> =
         std::collections::HashMap::new();
     let mut pairs: Vec<(usize, usize)> = Vec::new();

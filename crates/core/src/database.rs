@@ -374,8 +374,10 @@ impl Database {
             *slot = value;
         }
         if may_shrink {
+            tchimera_obs::counter!("core.refindex.rebuilds").inc();
             self.reindex_refs(oid);
         } else {
+            tchimera_obs::counter!("core.refindex.incremental").inc();
             self.refs.add_refs(oid, added);
         }
         Ok(())
@@ -748,6 +750,7 @@ impl Database {
     /// The objects whose state references `target` (sorted), answered
     /// from the reverse-reference index in `O(referrers)`.
     pub fn referrers_of(&self, target: Oid) -> Vec<Oid> {
+        tchimera_obs::counter!("core.refindex.probes").inc();
         self.refs.referrers_of(target).collect()
     }
 

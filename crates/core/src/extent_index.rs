@@ -90,6 +90,7 @@ impl ExtentIndex {
         let since_last = self.events.len()
             - self.checkpoints.last().map_or(0, |c| c.applied);
         if since_last >= MIN_CHECKPOINT_GAP.max(self.current.len() / 8) {
+            tchimera_obs::counter!("core.extent.checkpoints").inc();
             self.checkpoints.push(Checkpoint {
                 applied: self.events.len(),
                 members: self.current.iter().copied().collect(),
@@ -110,13 +111,16 @@ impl ExtentIndex {
     /// The sorted member set at instant `t`, under clock `now`.
     fn members_at(&self, t: Instant, now: Instant) -> Vec<Oid> {
         if t > now || self.events.is_empty() {
+            tchimera_obs::counter!("core.extent.at_current").inc();
             return Vec::new();
         }
         // Number of events effective at or before `t`.
         let idx = self.events.partition_point(|e| e.at <= t);
         if idx == self.events.len() {
+            tchimera_obs::counter!("core.extent.at_current").inc();
             return self.current.iter().copied().collect();
         }
+        tchimera_obs::counter!("core.extent.at_replay").inc();
         // Latest checkpoint covering a prefix of those events.
         let ck = self
             .checkpoints
@@ -125,6 +129,7 @@ impl ExtentIndex {
             .map(|k| &self.checkpoints[k]);
         let (base, applied): (&[Oid], usize) =
             ck.map_or((&[], 0), |c| (&c.members, c.applied));
+        tchimera_obs::counter!("core.extent.replayed_events").add((idx - applied) as u64);
         // Net per-oid delta over the replay window.
         let mut net: BTreeMap<Oid, i32> = BTreeMap::new();
         for e in &self.events[applied..idx] {
@@ -249,6 +254,7 @@ impl Membership {
     /// migrate bouncing through the class) is filtered out against the
     /// history.
     pub(crate) fn members_during(&self, lo: Instant, hi: Instant, now: Instant) -> Vec<Oid> {
+        tchimera_obs::counter!("core.extent.during_queries").inc();
         let hi = hi.min(now);
         if lo > hi {
             return Vec::new();

@@ -56,6 +56,7 @@ mod ident;
 mod inheritance;
 mod invariants;
 mod object;
+mod observability;
 mod ref_index;
 mod schema;
 mod state;
@@ -74,10 +75,15 @@ pub use error::{ModelError, Result};
 pub use ident::{AttrName, ClassId, MethodName, Oid, Symbol};
 pub use invariants::{InvariantId, InvariantViolation};
 pub use object::Object;
+pub use observability::{touch_metrics, CORE_METRICS};
 pub use schema::Schema;
 pub use state::{ClassState, DatabaseState, MembershipState, ObjectState, RunState, StateError};
 pub use types::{BasicType, Type};
 pub use value::Value;
+
+// Re-export the observability substrate: [`Database::metrics`] and
+// [`Database::take_trace`] speak its types.
+pub use tchimera_obs as obs;
 
 // Re-export the temporal substrate: its types appear throughout the API.
 pub use tchimera_temporal::{

@@ -1,0 +1,51 @@
+//! Concurrency properties of the metrics layer: instruments are shared
+//! process-wide and recorded with relaxed atomics, so totals must come
+//! out *exact* — not approximately right — when hammered from every
+//! rayon worker at once.
+
+use rayon::prelude::*;
+use tchimera_core::obs;
+
+#[test]
+fn counter_is_exact_under_parallel_hammer() {
+    let c = obs::registry().counter("test.hammer.counter");
+    let items: Vec<u64> = (0..100_000).collect();
+    items.par_iter().for_each(|_| c.inc());
+    assert_eq!(c.get(), 100_000);
+    // add() from every worker: the total is the exact series sum.
+    items.par_iter().for_each(|&x| c.add(x));
+    assert_eq!(c.get(), 100_000 + (0..100_000u64).sum::<u64>());
+}
+
+#[test]
+fn gauge_adjustments_commute() {
+    let g = obs::registry().gauge("test.hammer.gauge");
+    let items: Vec<i64> = (0..10_000).collect();
+    items.par_iter().for_each(|_| g.adjust(3));
+    items.par_iter().for_each(|_| g.adjust(-2));
+    assert_eq!(g.get(), 10_000);
+}
+
+#[test]
+fn histogram_count_sum_and_max_are_exact_under_parallel_hammer() {
+    let h = obs::registry().histogram("test.hammer.histogram");
+    let items: Vec<u64> = (1..=50_000).collect();
+    items.par_iter().for_each(|&x| h.record(x));
+    assert_eq!(h.count(), 50_000);
+    assert_eq!(h.sum(), (1..=50_000u64).sum::<u64>());
+    assert_eq!(h.max(), 50_000);
+    // Every recorded value landed in exactly one bucket.
+    let bucketed: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucketed, 50_000);
+}
+
+#[test]
+fn registry_returns_the_same_instrument_from_every_worker() {
+    let items: Vec<u64> = (0..1_000).collect();
+    // Racing first-registration from many workers must converge on one
+    // instrument: the total reflects every increment.
+    items
+        .par_iter()
+        .for_each(|_| obs::registry().counter("test.hammer.race").inc());
+    assert_eq!(obs::registry().counter("test.hammer.race").get(), 1_000);
+}

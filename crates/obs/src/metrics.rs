@@ -1,0 +1,543 @@
+//! Lock-cheap metric primitives and the global registry.
+//!
+//! Three metric kinds cover the instrumentation needs of the workspace:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`;
+//! * [`Gauge`] — a settable `AtomicI64` (thread counts, sizes);
+//! * [`Histogram`] — log2-bucketed value distribution (latencies in
+//!   nanoseconds, byte counts), 65 buckets covering the full `u64` range
+//!   with `count`/`sum`/`max` running aggregates.
+//!
+//! Recording is a handful of relaxed atomic operations — no locks, no
+//! allocation — so metrics stay on in release builds. The only lock in
+//! the module guards *registration* (first use of a name); hot paths
+//! cache the returned `&'static` handle in a `OnceLock` (see the
+//! [`counter!`](crate::counter)/[`histogram!`](crate::histogram_metric)
+//! macros), so the lock is taken once per call site per process.
+//!
+//! [`MetricsRegistry::snapshot`] captures every registered metric into a
+//! plain-data [`MetricsSnapshot`] that serializes to JSON with
+//! [`MetricsSnapshot::to_json`]. **Metric names are API**: the full set
+//! is documented in `DESIGN.md` §9, and a round-trip test asserts the
+//! documented names appear in the snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn adjust(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `k ≥ 1` holds values `v` with
+/// `2^(k-1) ≤ v < 2^k` — so bucket boundaries double, giving ~2× relative
+/// resolution over the entire `u64` range (`u64::MAX` lands in bucket 64)
+/// at a fixed 65 × 8 bytes of storage. `count`, `sum` and `max` are
+/// tracked exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index of a sample: `0` for `0`, else `floor(log2(v)) + 1`.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The smallest value belonging to bucket `k` (`0` for bucket 0, else
+/// `2^(k-1)`).
+#[inline]
+#[must_use]
+pub fn bucket_lo(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The non-empty buckets as `(bucket lower bound, sample count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_lo(k), n))
+            })
+            .collect()
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty buckets as `(lower bound, count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+///
+/// Produced by [`MetricsRegistry::snapshot`]; all maps are sorted by
+/// metric name so the JSON rendering is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Total number of distinct metrics in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// `true` when nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if a metric of any kind with this name is present.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.counters.contains_key(name)
+            || self.gauges.contains_key(name)
+            || self.histograms.contains_key(name)
+    }
+
+    /// All metric names, sorted, across every kind.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::as_str)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The value of a counter, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The value of a gauge, if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The snapshot of a histogram, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Serialize to a stable, human-readable JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 3, ...},
+    ///   "gauges": {"name": -1, ...},
+    ///   "histograms": {"name": {"count": 2, "sum": 9, "max": 8,
+    ///                           "buckets": [[1, 1], [8, 1]]}, ...}
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (k, (name, v)) in self.counters.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(name)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (k, (name, v)) in self.gauges.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(name)));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (k, (name, h)) in self.histograms.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(lo, n)| format!("[{lo}, {n}]"))
+                .collect();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.max,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out
+    }
+}
+
+/// The process-wide metric registry: names → `&'static` metric handles.
+///
+/// Handles are registered on first use and live for the process lifetime
+/// (they are leaked — the metric set is a small, fixed vocabulary).
+/// Accessing an already-registered name through the
+/// [`counter!`](crate::counter)-style macros costs one `OnceLock` load.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// The counter registered under `name`, creating it at zero on first
+    /// use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(name.to_owned(), c);
+        c
+    }
+
+    /// The gauge registered under `name`, creating it at zero on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        if let Some(g) = map.get(name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(name.to_owned(), g);
+        g
+    }
+
+    /// The histogram registered under `name`, creating it empty on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(name.to_owned(), h);
+        h
+    }
+
+    /// Capture every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        buckets: h.nonzero_buckets(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-wide [`MetricsRegistry`].
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_edges() {
+        // The satellite-mandated edge cases: 0, 1, u64::MAX — plus the
+        // power-of-two boundaries around them.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(2), 2);
+        assert_eq!(bucket_lo(64), 1u64 << 63);
+        // Every value lands in the bucket whose range contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let k = bucket_index(v);
+            assert!(bucket_lo(k) <= v, "v={v} below bucket {k}");
+            if k < HISTOGRAM_BUCKETS - 1 {
+                assert!(v < bucket_lo(k + 1), "v={v} past bucket {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum wraps (u64::MAX + 1 ≡ 0), by design: the sum is advisory.
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(1));
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (1u64 << 63, 1)]
+        );
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.adjust(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn registry_dedupes_by_name() {
+        let r = MetricsRegistry::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x"), Some(1));
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_and_parseable_shape() {
+        let r = MetricsRegistry::default();
+        r.counter("b.count").add(2);
+        r.counter("a.count").inc();
+        r.gauge("threads").set(8);
+        r.histogram("lat").record(5);
+        r.histogram("lat").record(0);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"a.count\": 1"));
+        assert!(json.contains("\"b.count\": 2"));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"lat\": {\"count\": 2, \"sum\": 5, \"max\": 5"));
+        assert!(json.contains("[0, 1], [4, 1]"));
+        // Deterministic: same registry, same bytes.
+        assert_eq!(json, r.snapshot().to_json());
+        // Names are sorted and queryable.
+        assert_eq!(snap.names(), vec!["a.count", "b.count", "lat", "threads"]);
+        assert!(snap.contains("lat"));
+        assert!(!snap.contains("missing"));
+        assert_eq!(snap.histogram("lat").unwrap().mean(), 2.5);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let r = MetricsRegistry::default();
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain.name"), "plain.name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -78,6 +78,27 @@ fn bound(binding: &Binding, var: &str) -> Oid {
         .1
 }
 
+/// Every metric name the query crate records (see `DESIGN.md` §9).
+pub const QUERY_METRICS: &[&str] = &[
+    "query.eval",
+    "query.eval.bindings",
+    "query.eval.during",
+    "query.eval.rows",
+];
+
+/// Register every query metric (at zero) so snapshots always carry the
+/// full documented vocabulary.
+pub fn touch_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let r = tchimera_obs::registry();
+        r.histogram("query.eval");
+        r.counter("query.eval.bindings");
+        r.counter("query.eval.during");
+        r.counter("query.eval.rows");
+    });
+}
+
 /// Execute a type-checked `SELECT` against the database.
 ///
 /// Multiple range variables form a cross product filtered by `WHERE`
@@ -93,7 +114,16 @@ fn bound(binding: &Binding, var: &str) -> Oid {
 ///   all bound objects); attribute projections yield the value at the
 ///   window end (clamped to `now`), and `HISTORY OF` projections are
 ///   restricted to the window.
+///
+/// The whole evaluation runs under a `query.eval` span; the
+/// `query.eval.bindings` / `query.eval.rows` counters tally cross-product
+/// work and result size (`DESIGN.md` §9).
 pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> {
+    touch_metrics();
+    let _span = tchimera_obs::span!("query.eval", vars = q.vars.len());
+    if matches!(q.time, TimeSpec::During(..)) {
+        tchimera_obs::counter!("query.eval.during").inc();
+    }
     let now = db.now();
 
     // Candidate oids per variable, and the evaluation window.
@@ -138,7 +168,11 @@ pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> 
         return Ok(result);
     }
     let mut idx = vec![0usize; candidates.len()];
+    // Tallied locally, published once: the odometer loop stays free of
+    // atomics.
+    let mut bindings_examined = 0u64;
     'product: loop {
+        bindings_examined += 1;
         let binding: Binding = candidates
             .iter()
             .zip(idx.iter())
@@ -217,6 +251,8 @@ pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> 
     if let Some(limit) = q.limit {
         result.rows.truncate(limit as usize);
     }
+    tchimera_obs::counter!("query.eval.bindings").add(bindings_examined);
+    tchimera_obs::counter!("query.eval.rows").add(result.rows.len() as u64);
     Ok(result)
 }
 

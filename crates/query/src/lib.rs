@@ -33,7 +33,7 @@ pub mod token;
 pub mod typecheck;
 
 pub use ast::{CmpOp, Expr, Literal, Projection, Select, Stmt, TimeSpec};
-pub use eval::{eval_select, EvalError, QueryResult};
+pub use eval::{eval_select, touch_metrics, EvalError, QueryResult, QUERY_METRICS};
 pub use interp::{Interpreter, Outcome, QueryError};
 pub use parser::{parse, parse_script, ParseError};
 pub use typecheck::{check_select, TypeError};

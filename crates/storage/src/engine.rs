@@ -135,6 +135,8 @@ impl PersistentDatabase {
 
     /// Open a database at `path` through the given [`Vfs`].
     pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<PersistentDatabase, EngineError> {
+        crate::observability::touch_metrics();
+        let _span = tchimera_obs::span!("storage.recovery.open", path = path.display());
         let snap_path = snapshot_path(path);
         let (mut log, scan) = OpLog::open_with(Arc::clone(&vfs), path)?;
         let base = scan.base_op;
@@ -179,6 +181,8 @@ impl PersistentDatabase {
             // Rung 3: the prefix was compacted away and the snapshot that
             // held it is unusable. Refuse loudly.
             None => {
+                tchimera_obs::counter!("storage.recovery.rung").inc();
+                tchimera_obs::event!("storage.recovery.rung", rung = "refused");
                 let err = match load_snapshot(&vfs, &snap_path) {
                     Err(e) => e,
                     Ok(_) => SnapshotError::Corrupt("state image rejected"),
@@ -186,6 +190,13 @@ impl PersistentDatabase {
                 return Err(EngineError::Snapshot(err));
             }
         };
+
+        // Exactly one rung event per open: which recovery path produced
+        // the served state.
+        let rung = if from_snapshot { "snapshot+suffix" } else { "full-replay" };
+        tchimera_obs::counter!("storage.recovery.rung").inc();
+        tchimera_obs::event!("storage.recovery.rung", rung = rung);
+        tchimera_obs::counter!("storage.recovery.replayed_ops").add(recovered_replayed as u64);
 
         Ok(PersistentDatabase {
             db,
@@ -319,6 +330,7 @@ impl PersistentDatabase {
     /// atomically. A crash between the two leaves snapshot + full log —
     /// recovery uses the snapshot and skips the covered prefix.
     pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        let _span = tchimera_obs::span!("storage.engine.checkpoint");
         self.log.sync()?;
         let total = self.op_count() as u64;
         let state = self.db.export_state();

@@ -25,6 +25,9 @@
 //! * [`index`] — [`index::IntervalTree`] and [`index::TemporalIndex`] for
 //!   `O(log n + k)` time-travel queries (who existed / was a member at
 //!   `t`?).
+//! * [`observability`] — the storage half of the metric vocabulary
+//!   (`storage.log.*`, `storage.snapshot.*`, `storage.recovery.*`, …)
+//!   registered eagerly so snapshots always name it; see `DESIGN.md` §9.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +36,7 @@ pub mod codec;
 pub mod engine;
 pub mod index;
 pub mod log;
+pub mod observability;
 pub mod op;
 pub mod snapshot;
 pub mod vfs;
@@ -41,6 +45,7 @@ pub use codec::{Codec, CodecError, Reader};
 pub use engine::{digest_database, snapshot_path, EngineError, PersistentDatabase};
 pub use index::{IntervalTree, TemporalIndex};
 pub use log::{DamageReason, LogError, LogScan, OpLog, TailDamage};
+pub use observability::{touch_metrics, STORAGE_METRICS};
 pub use op::{Operation, ReplayError};
 pub use snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
 pub use vfs::{SimFs, StdFs, TearMode, Vfs, VfsFile};

@@ -186,6 +186,7 @@ impl OpLog {
     /// record, stopping at the first damage. Never fails — damage is
     /// reported in the scan, not raised.
     pub fn scan_bytes(buf: &[u8]) -> LogScan {
+        let _span = tchimera_obs::span!("storage.log.scan", bytes = buf.len());
         let mut pos = 0usize;
         let mut base_op = 0u64;
         let mut damage: Option<TailDamage> = None;
@@ -259,6 +260,10 @@ impl OpLog {
             pos += 8 + len;
         }
         let valid_len = damage.as_ref().map_or(pos as u64, |d| d.offset);
+        tchimera_obs::counter!("storage.log.scanned_ops").add(ops.len() as u64);
+        if damage.is_some() {
+            tchimera_obs::counter!("storage.log.torn_tails").inc();
+        }
         LogScan {
             ops,
             base_op,
@@ -286,11 +291,14 @@ impl OpLog {
         self.file.write_all(&frame)?;
         self.len += frame.len() as u64;
         self.appended += 1;
+        tchimera_obs::counter!("storage.log.appends").inc();
+        tchimera_obs::counter!("storage.log.bytes").add(frame.len() as u64);
         Ok(())
     }
 
     /// Flush and fsync.
     pub fn sync(&mut self) -> Result<(), LogError> {
+        let _span = tchimera_obs::span!("storage.log.fsync");
         self.file.sync()?;
         Ok(())
     }
@@ -301,6 +309,7 @@ impl OpLog {
     /// over the log, fsync the directory. On return this handle appends
     /// to the fresh log and [`OpLog::appended`] restarts from 0.
     pub fn compact_to(&mut self, base: u64) -> Result<(), LogError> {
+        tchimera_obs::counter!("storage.log.compactions").inc();
         let tmp = self.path.with_extension("log.tmp");
         let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(LOG_MAGIC);

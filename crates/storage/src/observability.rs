@@ -1,0 +1,93 @@
+//! Storage-layer metric vocabulary.
+//!
+//! Every metric and span name the storage crate emits, registered up
+//! front so a [`MetricsSnapshot`](tchimera_obs::MetricsSnapshot) taken
+//! after [`crate::PersistentDatabase::open_with`] names the full
+//! vocabulary even for counters still at zero. The names in
+//! [`STORAGE_METRICS`] are part of the public observability contract
+//! documented in `DESIGN.md` §9 — renaming one is an API break.
+
+use std::sync::Once;
+
+/// Every metric name the storage crate can emit, sorted.
+///
+/// Span names double as histogram names: `storage.log.fsync` is both
+/// the span wrapping the fsync call and the latency histogram (in
+/// nanoseconds) that span records into.
+pub const STORAGE_METRICS: &[&str] = &[
+    "storage.engine.checkpoint",
+    "storage.log.appends",
+    "storage.log.bytes",
+    "storage.log.compactions",
+    "storage.log.fsync",
+    "storage.log.scan",
+    "storage.log.scanned_ops",
+    "storage.log.torn_tails",
+    "storage.recovery.open",
+    "storage.recovery.replayed_ops",
+    "storage.recovery.rung",
+    "storage.simfs.crashes",
+    "storage.simfs.faults",
+    "storage.snapshot.install",
+    "storage.snapshot.load_failures",
+    "storage.snapshot.loads",
+];
+
+/// Span names: registered as latency histograms rather than counters.
+const SPANS: &[&str] = &[
+    "storage.engine.checkpoint",
+    "storage.log.fsync",
+    "storage.log.scan",
+    "storage.recovery.open",
+    "storage.snapshot.install",
+];
+
+/// Register every storage metric with the global registry at zero.
+///
+/// Called from [`crate::PersistentDatabase::open_with`]; idempotent and
+/// cheap after the first call.
+pub fn touch_metrics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let reg = tchimera_obs::registry();
+        for name in STORAGE_METRICS {
+            if SPANS.contains(name) {
+                reg.histogram(name);
+            } else {
+                reg.counter(name);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_registers_every_storage_metric() {
+        touch_metrics();
+        let snap = tchimera_obs::snapshot();
+        for name in STORAGE_METRICS {
+            assert!(snap.contains(name), "missing metric {name}");
+        }
+    }
+
+    #[test]
+    fn spans_are_histograms_counters_are_counters() {
+        touch_metrics();
+        let snap = tchimera_obs::snapshot();
+        for name in SPANS {
+            assert!(snap.histogram(name).is_some(), "{name} should be a histogram");
+        }
+        assert!(snap.counter("storage.log.appends").is_some());
+    }
+
+    #[test]
+    fn vocabulary_is_sorted_and_unique() {
+        let mut sorted = STORAGE_METRICS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STORAGE_METRICS);
+    }
+}

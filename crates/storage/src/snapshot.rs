@@ -93,6 +93,7 @@ pub fn write_snapshot(
     ops_covered: u64,
     digest: u64,
 ) -> Result<(), SnapshotError> {
+    let _span = tchimera_obs::span!("storage.snapshot.install", ops_covered = ops_covered);
     let payload = state.to_bytes();
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
     buf.extend_from_slice(SNAP_MAGIC);
@@ -118,6 +119,17 @@ pub fn write_snapshot(
 /// [`SnapshotError::Corrupt`]; only I/O failures other than absence are
 /// [`SnapshotError::Io`].
 pub fn load_snapshot(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Snapshot, SnapshotError> {
+    let r = load_snapshot_inner(vfs, path);
+    match &r {
+        Ok(_) => tchimera_obs::counter!("storage.snapshot.loads").inc(),
+        // Absence is the normal first-open case, not a failure.
+        Err(SnapshotError::Missing) => {}
+        Err(_) => tchimera_obs::counter!("storage.snapshot.load_failures").inc(),
+    }
+    r
+}
+
+fn load_snapshot_inner(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Snapshot, SnapshotError> {
     let buf = match vfs.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(SnapshotError::Missing),

@@ -212,6 +212,7 @@ impl SimState {
     fn mutating_op(&mut self) -> io::Result<()> {
         if let Some(n) = self.fail_after {
             if self.ops_done >= n {
+                tchimera_obs::counter!("storage.simfs.faults").inc();
                 return Err(io::Error::other("simulated I/O fault"));
             }
         }
@@ -252,6 +253,7 @@ impl SimFs {
     /// every open handle goes stale, and injected faults are cleared —
     /// the next open sees the disk exactly as a rebooted process would.
     pub fn crash(&self, tear: TearMode) {
+        tchimera_obs::counter!("storage.simfs.crashes").inc();
         let mut s = self.0.lock().unwrap();
         s.generation += 1;
         s.fail_after = None;

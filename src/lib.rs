@@ -38,6 +38,8 @@ pub use tchimera_temporal as temporal;
 pub use tchimera_storage as storage;
 /// TCQL (re-export of `tchimera-query`).
 pub use tchimera_query as query;
+/// Metrics and structured tracing (re-export of `tchimera-obs`).
+pub use tchimera_obs as obs;
 
 pub use tchimera_core::{
     attrs, check_oid_uniqueness, AttrDecl, AttrKind, AttrName, Attrs, BasicType, Capabilities,
