@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E13) and prints them as Markdown.
+//! (E1–E13, E15) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -59,6 +59,9 @@ fn main() {
     }
     if want("E13") {
         e13_recovery();
+    }
+    if want("E15") {
+        e15_resilience();
     }
 }
 
@@ -619,5 +622,128 @@ fn e13_recovery() {
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(tchimera_storage::snapshot_path(&path));
     }
+    println!();
+}
+
+fn e15_resilience() {
+    use std::sync::Arc;
+    use tchimera_storage::{SimFs, Vfs};
+
+    header(
+        "E15",
+        "Fault tolerance: transactional commit, retry absorption, read-only fast-fail",
+    );
+    let employee = ClassId::from("employee");
+    let path = std::path::PathBuf::from("e15.log");
+    // Everything runs over SimFs: deterministic, in-memory, no disk noise.
+    let open_sim = |path: &std::path::Path| {
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let mut pdb = PersistentDatabase::open_with(vfs, path).unwrap();
+        pdb.define_class(
+            ClassDef::new("employee").attr("salary", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        let oid = pdb
+            .create_object(&employee, attrs([("salary", Value::Int(0))]))
+            .unwrap();
+        (fs, pdb, oid)
+    };
+
+    const N: usize = 4096;
+    println!("| scenario | wall | per logical op | log records |");
+    println!("|---|---|---|---|");
+
+    // Singles: one log record per mutation.
+    let mut single_records = 0;
+    let single_ns = time_ns(5, || {
+        let (_fs, mut pdb, oid) = open_sim(&path);
+        for i in 0..N {
+            pdb.set_attr(oid, &"salary".into(), Value::Int(i as i64))
+                .unwrap();
+        }
+        single_records = pdb.op_count();
+        pdb.sync().unwrap();
+    });
+    println!(
+        "| {N} single-op commits | {} | {} | {single_records} |",
+        fmt_ns(single_ns),
+        fmt_ns(single_ns / N as f64),
+    );
+
+    // Grouped: the same mutations, eight per atomic transaction.
+    for group in [8usize, 64] {
+        let mut txn_records = 0;
+        let txn_ns = time_ns(5, || {
+            let (_fs, mut pdb, oid) = open_sim(&path);
+            for chunk in 0..(N / group) {
+                pdb.txn(|t| {
+                    for j in 0..group {
+                        let v = (chunk * group + j) as i64;
+                        t.set_attr(oid, &"salary".into(), Value::Int(v))?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+            txn_records = pdb.op_count();
+            pdb.sync().unwrap();
+        });
+        println!(
+            "| {N} ops in txns of {group} | {} | {} | {txn_records} |",
+            fmt_ns(txn_ns),
+            fmt_ns(txn_ns / N as f64),
+        );
+    }
+
+    // Transient-fault absorption: a 2-fault blip before every 16th
+    // commit, all absorbed by the default retry policy.
+    let before = tchimera_obs::snapshot();
+    let (retries_0, exhausted_0) = (
+        before.counter("storage.retry.attempts").unwrap_or(0),
+        before.counter("storage.retry.exhausted").unwrap_or(0),
+    );
+    let faulty_ns = time_ns(5, || {
+        let (fs, mut pdb, oid) = open_sim(&path);
+        for chunk in 0..(N / 8) {
+            if chunk % 16 == 0 {
+                fs.fail_transient_next(2);
+            }
+            pdb.txn(|t| {
+                for j in 0..8 {
+                    let v = (chunk * 8 + j) as i64;
+                    t.set_attr(oid, &"salary".into(), Value::Int(v))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        pdb.sync().unwrap();
+    });
+    let after = tchimera_obs::snapshot();
+    let retries = after.counter("storage.retry.attempts").unwrap_or(0) - retries_0;
+    let exhausted = after.counter("storage.retry.exhausted").unwrap_or(0) - exhausted_0;
+    println!(
+        "| {N} ops in txns of 8, transient blips every 16th commit | {} | {} | {retries} retries absorbed, {exhausted} exhausted |",
+        fmt_ns(faulty_ns),
+        fmt_ns(faulty_ns / N as f64),
+    );
+
+    // Read-only fast-fail: a tripped breaker rejects writes before any
+    // I/O — the cost of being down, per refused write.
+    let (_fs, mut pdb, oid) = open_sim(&path);
+    pdb.trip();
+    let reject_ns = time_ns(5, || {
+        for i in 0..N {
+            assert!(pdb
+                .set_attr(oid, &"salary".into(), Value::Int(i as i64))
+                .is_err());
+        }
+    });
+    println!(
+        "| {N} writes refused while read-only | {} | {} | 0 |",
+        fmt_ns(reject_ns),
+        fmt_ns(reject_ns / N as f64),
+    );
     println!();
 }

@@ -154,7 +154,9 @@ impl Database {
             });
         }
         let c = self.schema.class_mut(class)?;
-        let slot = c.c_attr_values.get_mut(attr).expect("declared");
+        let slot = c.c_attr_values.get_mut(attr).ok_or(ModelError::Internal {
+            context: "c-attribute declared but no value slot",
+        })?;
         if decl.ty.is_temporal() {
             match slot {
                 Value::Temporal(h) => h.set_from(now, value)?,
@@ -350,8 +352,12 @@ impl Database {
                 value: value.to_string(),
             });
         }
-        let object = self.objects.get_mut(&oid).expect("present");
-        let slot = object.attrs.get_mut(attr).expect("initialized at creation");
+        let object = self.objects.get_mut(&oid).ok_or(ModelError::Internal {
+            context: "object vanished between validation and update",
+        })?;
+        let slot = object.attrs.get_mut(attr).ok_or(ModelError::Internal {
+            context: "declared attribute has no slot (slots are initialized at creation)",
+        })?;
         // The reverse-reference index is a union over the whole recorded
         // state, and temporal histories only grow — so the update can be
         // indexed incrementally (O(new value), not O(history)) unless it
@@ -446,7 +452,15 @@ impl Database {
         let mut staged: Vec<(AttrName, Value)> = Vec::new();
         for (name, decl) in &new_attrs {
             let old_decl = old_attrs.get(name);
-            let existing = self.objects[&oid].attrs.get(name).cloned();
+            let existing = self
+                .objects
+                .get(&oid)
+                .ok_or(ModelError::Internal {
+                    context: "object vanished between validation and migration staging",
+                })?
+                .attrs
+                .get(name)
+                .cloned();
             let supplied = init.remove(name);
             let stored = match (old_decl, existing) {
                 // Newly acquired attribute. If the object still carries a
@@ -537,7 +551,9 @@ impl Database {
         }
 
         // Apply to the object.
-        let object = self.objects.get_mut(&oid).expect("present");
+        let object = self.objects.get_mut(&oid).ok_or(ModelError::Internal {
+            context: "object vanished between migration staging and apply",
+        })?;
         // Old-only attributes: drop statics, close temporals (kept).
         let mut kept_histories: Vec<(AttrName, Value)> = Vec::new();
         for (name, decl) in &old_attrs {
@@ -727,8 +743,10 @@ impl Database {
     /// consistency and invariant checkers (Definitions 5.5/5.6 need
     /// *inconsistent* states to detect, and the public mutation API keeps
     /// the database consistent by construction). Never use it in
-    /// application code.
+    /// application code — it is compiled only under `cfg(test)` or the
+    /// `testing` feature.
     #[doc(hidden)]
+    #[cfg(any(test, feature = "testing"))]
     pub fn replace_object_for_test(&mut self, object: Object) {
         let oid = object.oid;
         self.objects.insert(oid, object);

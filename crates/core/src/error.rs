@@ -131,6 +131,14 @@ pub enum ModelError {
         /// Current clock.
         now: Instant,
     },
+    /// An internal invariant did not hold. Reaching this is a bug in the
+    /// model implementation, but it surfaces as a typed error rather
+    /// than a panic so a durable engine can degrade instead of aborting
+    /// mid-write.
+    Internal {
+        /// The invariant that was violated.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -191,6 +199,9 @@ impl fmt::Display for ModelError {
             }
             ClockMovedBackwards { to, now } => {
                 write!(f, "cannot move clock backwards to {to} (now = {now})")
+            }
+            Internal { context } => {
+                write!(f, "internal invariant violated: {context} (this is a bug)")
             }
         }
     }

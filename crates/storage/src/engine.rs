@@ -34,7 +34,9 @@ use tchimera_core::{
 
 use crate::log::{LogError, OpLog};
 use crate::op::{Operation, ReplayError};
+use crate::resilience::{retry, BreakerState, CircuitBreaker, FaultKind, RetryPolicy};
 use crate::snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
+use crate::txn::Transaction;
 use crate::vfs::{StdFs, Vfs};
 
 /// Errors raised by the persistent engine.
@@ -60,6 +62,22 @@ pub enum EngineError {
         /// The earliest reconstructible operation count.
         base: u64,
     },
+    /// A write-path I/O failure that survived the retry policy.
+    Write {
+        /// Whether the final failure was transient or permanent.
+        fault: FaultKind,
+        /// Attempts performed (including the first).
+        attempts: u32,
+        /// The final error.
+        source: LogError,
+    },
+    /// The engine is degraded to read-only: the circuit breaker is open.
+    /// Reads, metrics, and recovery inspection keep working; call
+    /// [`PersistentDatabase::try_reset`] once the fault is cleared.
+    ReadOnly {
+        /// Consecutive surfaced write failures that opened the breaker.
+        consecutive_failures: u32,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -76,6 +94,18 @@ impl std::fmt::Display for EngineError {
             EngineError::Compacted { requested, base } => write!(
                 f,
                 "state at op {requested} was compacted away (earliest reconstructible: {base})"
+            ),
+            EngineError::Write {
+                fault,
+                attempts,
+                source,
+            } => write!(f, "write failed ({fault} fault, {attempts} attempt(s)): {source}"),
+            EngineError::ReadOnly {
+                consecutive_failures,
+            } => write!(
+                f,
+                "engine is read-only: circuit breaker opened after \
+                 {consecutive_failures} consecutive write failures"
             ),
         }
     }
@@ -104,17 +134,56 @@ impl From<StateError> for EngineError {
     }
 }
 
+/// Resilience knobs of the engine: how hard writes are retried and when
+/// the circuit breaker flips the engine read-only.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Retry policy applied to every write-path I/O (log appends,
+    /// fsyncs).
+    pub retry: RetryPolicy,
+    /// Consecutive surfaced write failures (post-retry) that open the
+    /// breaker. Clamped to ≥ 1.
+    pub breaker_threshold: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+        }
+    }
+}
+
 /// A durable T_Chimera database: every accepted mutation is appended to an
 /// operation log before the call returns.
 ///
 /// Read operations are delegated through [`PersistentDatabase::db`];
 /// mutations go through the engine so they are logged exactly when the
 /// model accepts them.
+///
+/// # Fault tolerance
+///
+/// Write-path I/O is retried per [`EngineConfig::retry`] (transient
+/// faults only; see [`FaultKind`]). Failures that survive the retry feed
+/// a [`CircuitBreaker`]: after [`EngineConfig::breaker_threshold`]
+/// consecutive failures the engine degrades to read-only — mutations
+/// fail fast with [`EngineError::ReadOnly`] while reads, metrics and
+/// [`PersistentDatabase::state_at_op`] keep working. Service is restored
+/// with [`PersistentDatabase::try_reset`] (half-open probe). Atomic
+/// multi-operation updates go through [`PersistentDatabase::txn`].
 pub struct PersistentDatabase {
     db: Database,
     log: OpLog,
     vfs: Arc<dyn Vfs>,
     snap_path: PathBuf,
+    config: EngineConfig,
+    breaker: CircuitBreaker,
+    /// Set if a failed write left the in-memory state ahead of the log
+    /// *and* rebuilding from storage also failed — reads may then serve
+    /// un-durable data, so the breaker is tripped until a successful
+    /// [`PersistentDatabase::try_reset`] re-aligns them.
+    diverged: bool,
     recovered_ops: usize,
     recovered_torn: bool,
     recovered_from_snapshot: bool,
@@ -133,8 +202,19 @@ impl PersistentDatabase {
         Self::open_with(Arc::new(StdFs), path.as_ref())
     }
 
-    /// Open a database at `path` through the given [`Vfs`].
+    /// Open a database at `path` through the given [`Vfs`] with the
+    /// default [`EngineConfig`].
     pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<PersistentDatabase, EngineError> {
+        Self::open_with_config(vfs, path, EngineConfig::default())
+    }
+
+    /// Open a database at `path` through the given [`Vfs`] with explicit
+    /// resilience configuration.
+    pub fn open_with_config(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        config: EngineConfig,
+    ) -> Result<PersistentDatabase, EngineError> {
         crate::observability::touch_metrics();
         let _span = tchimera_obs::span!("storage.recovery.open", path = path.display());
         let snap_path = snapshot_path(path);
@@ -203,6 +283,9 @@ impl PersistentDatabase {
             log,
             vfs,
             snap_path,
+            breaker: CircuitBreaker::new(config.breaker_threshold),
+            config,
+            diverged: false,
             recovered_ops,
             recovered_torn: scan.torn_tail,
             recovered_from_snapshot: from_snapshot,
@@ -257,8 +340,10 @@ impl PersistentDatabase {
     /// States below the compaction horizon no longer exist as individual
     /// operations and come back as [`EngineError::Compacted`].
     pub fn state_at_op(&mut self, k: usize) -> Result<Database, EngineError> {
-        // Make buffered appends visible to the read-only scan.
-        self.log.sync()?;
+        // Make buffered appends visible to the read-only scan. Best
+        // effort: recovery inspection must keep working while the engine
+        // is degraded, and `Vfs::read` sees buffered appends anyway.
+        let _ = self.log.sync();
         let buf = self.vfs.read(self.log.path()).map_err(LogError::from)?;
         let scan = OpLog::scan_bytes(&buf);
         let base = scan.base_op as usize;
@@ -304,19 +389,226 @@ impl PersistentDatabase {
         digest_database(&self.db)
     }
 
+    /// Reject writes while the breaker is open.
+    fn guard_writes(&self) -> Result<(), EngineError> {
+        if self.breaker.allows_writes() {
+            Ok(())
+        } else {
+            tchimera_obs::counter!("storage.breaker.rejected").inc();
+            Err(EngineError::ReadOnly {
+                consecutive_failures: self.breaker.consecutive_failures(),
+            })
+        }
+    }
+
+    /// Append under the retry policy, feeding the breaker either way.
+    fn append_with_retry(&mut self, op: &Operation) -> Result<(), EngineError> {
+        let policy = self.config.retry;
+        match retry(&policy, || self.log.append(op)) {
+            Ok(()) => {
+                self.breaker.note_success();
+                Ok(())
+            }
+            Err(e) => {
+                self.breaker.note_failure();
+                Err(EngineError::Write {
+                    fault: e.fault,
+                    attempts: e.attempts,
+                    source: e.source,
+                })
+            }
+        }
+    }
+
+    /// A single-op write applied to the live state but never logged: the
+    /// in-memory database is ahead of durable history. Rebuild the live
+    /// state from storage (snapshot + log), restoring the invariant "the
+    /// served state is a fold of the recorded history". If even the
+    /// rebuild fails, mark the engine diverged and trip the breaker —
+    /// [`PersistentDatabase::try_reset`] re-attempts the re-alignment.
+    fn rollback_divergence(&mut self) {
+        tchimera_obs::counter!("storage.engine.rollbacks").inc();
+        match self.rebuild_from_storage() {
+            Ok(db) => self.db = db,
+            Err(_) => {
+                self.diverged = true;
+                self.breaker.trip();
+            }
+        }
+    }
+
+    /// Reconstruct the database purely from storage: read the log bytes
+    /// (buffered appends included), fold them over the snapshot (or the
+    /// empty database when never compacted).
+    fn rebuild_from_storage(&self) -> Result<Database, EngineError> {
+        let buf = self.vfs.read(self.log.path()).map_err(LogError::from)?;
+        let scan = OpLog::scan_bytes(&buf);
+        let base = scan.base_op;
+        let (mut db, covered) = if base == 0 {
+            (Database::new(), 0)
+        } else {
+            let snap = self.load_own_snapshot()?;
+            if snap.ops_covered < base {
+                return Err(EngineError::Snapshot(SnapshotError::Corrupt(
+                    "snapshot behind the compaction horizon",
+                )));
+            }
+            (Database::import_state(snap.state)?, snap.ops_covered)
+        };
+        // `skip` may exceed the scan when the snapshot is ahead of the
+        // log (crash between snapshot install and compaction): the
+        // suffix to replay is then empty.
+        let skip = (covered - base) as usize;
+        for op in scan.ops.iter().skip(skip) {
+            op.apply(&mut db)?;
+        }
+        Ok(db)
+    }
+
     fn execute(&mut self, op: Operation) -> Result<(), EngineError> {
         // Model first (validation), log second — an operation is logged
         // iff it was accepted, keeping log and state in lockstep.
+        self.guard_writes()?;
         op.apply(&mut self.db)?;
-        self.log.append(&op)?;
-        Ok(())
+        self.append_with_retry(&op).map_err(|e| {
+            // Accepted but not logged: un-apply by rebuilding from
+            // storage so state and log stay in lockstep.
+            self.rollback_divergence();
+            e
+        })
     }
 
-    /// Durably flush the log. After this returns, every preceding
-    /// accepted mutation survives any crash.
+    /// Run an atomic transaction: `f` stages mutations on a shadow
+    /// [`Database`] via the [`Transaction`] handle; on success the whole
+    /// batch is committed as **one** CRC-framed log record and the shadow
+    /// becomes the live state. If `f` returns an error — or the commit
+    /// append fails — the live database is bit-for-bit unchanged and
+    /// nothing reaches the log: recovery can never observe a partially
+    /// applied transaction.
+    ///
+    /// A committed transaction counts as *one* operation in
+    /// [`PersistentDatabase::op_count`] / transaction-time travel — the
+    /// log record is the atomicity (and numbering) unit.
+    pub fn txn<R>(
+        &mut self,
+        f: impl FnOnce(&mut Transaction) -> Result<R, EngineError>,
+    ) -> Result<R, EngineError> {
+        self.guard_writes()?;
+        let _span = tchimera_obs::span!("storage.engine.txn");
+        let mut t = Transaction::new(self.db.clone());
+        let out = match f(&mut t) {
+            Ok(out) => out,
+            Err(e) => {
+                tchimera_obs::counter!("storage.txn.rollbacks").inc();
+                return Err(e);
+            }
+        };
+        let (shadow, ops) = t.into_parts();
+        if ops.is_empty() {
+            // Read-only transaction: nothing to commit.
+            tchimera_obs::counter!("storage.txn.commits").inc();
+            return Ok(out);
+        }
+        let staged = ops.len() as u64;
+        match self.append_with_retry(&Operation::Txn(ops)) {
+            Ok(()) => {
+                self.db = shadow;
+                tchimera_obs::counter!("storage.txn.commits").inc();
+                tchimera_obs::counter!("storage.txn.ops").add(staged);
+                Ok(out)
+            }
+            Err(e) => {
+                // The live state was never touched; dropping the shadow
+                // *is* the rollback.
+                tchimera_obs::counter!("storage.txn.rollbacks").inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Durably flush the log (retried per the policy). After this
+    /// returns, every preceding accepted mutation survives any crash.
     pub fn sync(&mut self) -> Result<(), EngineError> {
-        self.log.sync()?;
-        Ok(())
+        self.guard_writes()?;
+        let policy = self.config.retry;
+        match retry(&policy, || self.log.sync()) {
+            Ok(()) => {
+                self.breaker.note_success();
+                Ok(())
+            }
+            Err(e) => {
+                self.breaker.note_failure();
+                Err(EngineError::Write {
+                    fault: e.fault,
+                    attempts: e.attempts,
+                    source: e.source,
+                })
+            }
+        }
+    }
+
+    // -- degradation and repair --------------------------------------------
+
+    /// The breaker's current state (`Closed` = healthy, `Open` =
+    /// read-only, `HalfOpen` = probing).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// `true` while the engine rejects writes.
+    pub fn is_read_only(&self) -> bool {
+        !self.breaker.allows_writes()
+    }
+
+    /// `true` if the in-memory state could not be re-aligned with the
+    /// log after a failed write (reads may serve un-durable data until a
+    /// [`PersistentDatabase::try_reset`] succeeds).
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// Force the breaker open: the engine becomes read-only immediately
+    /// (manual degradation, e.g. ahead of planned maintenance).
+    pub fn trip(&mut self) {
+        self.breaker.trip();
+    }
+
+    /// Attempt to restore write service (half-open probe). Re-aligns a
+    /// diverged state from storage first, then probes the write path
+    /// with an fsync: on success the breaker closes and `true` is
+    /// returned; on failure it re-opens and the engine stays read-only.
+    /// Calling this on a healthy engine is a no-op returning `true`.
+    pub fn try_reset(&mut self) -> bool {
+        if self.breaker.state() == BreakerState::Closed {
+            return true;
+        }
+        if self.diverged {
+            match self.rebuild_from_storage() {
+                Ok(db) => {
+                    self.db = db;
+                    self.diverged = false;
+                }
+                Err(_) => return false,
+            }
+        }
+        if !self.breaker.begin_probe() {
+            return true;
+        }
+        match self.log.sync() {
+            Ok(()) => {
+                self.breaker.note_success();
+                true
+            }
+            Err(_) => {
+                self.breaker.note_failure();
+                false
+            }
+        }
+    }
+
+    /// The engine's resilience configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Install a checkpoint: durably snapshot the current state, then
@@ -331,13 +623,19 @@ impl PersistentDatabase {
     /// recovery uses the snapshot and skips the covered prefix.
     pub fn checkpoint(&mut self) -> Result<(), EngineError> {
         let _span = tchimera_obs::span!("storage.engine.checkpoint");
-        self.log.sync()?;
+        self.sync()?;
         let total = self.op_count() as u64;
         let state = self.db.export_state();
         let digest = digest_database(&self.db);
-        write_snapshot(&self.vfs, &self.snap_path, &state, total, digest)
-            .map_err(EngineError::Snapshot)?;
-        self.log.compact_to(total)?;
+        if let Err(e) = write_snapshot(&self.vfs, &self.snap_path, &state, total, digest) {
+            self.breaker.note_failure();
+            return Err(EngineError::Snapshot(e));
+        }
+        if let Err(e) = self.log.compact_to(total) {
+            self.breaker.note_failure();
+            return Err(EngineError::Log(e));
+        }
+        self.breaker.note_success();
         self.recovered_ops = total as usize;
         Ok(())
     }
@@ -383,11 +681,16 @@ impl PersistentDatabase {
     /// Create an object (logged, with the assigned oid pinned for replay).
     pub fn create_object(&mut self, class: &ClassId, init: Attrs) -> Result<Oid, EngineError> {
         // Execute first to learn the oid, then log with the expectation.
+        self.guard_writes()?;
         let oid = self.db.create_object(class, init.clone())?;
-        self.log.append(&Operation::CreateObject {
+        let op = Operation::CreateObject {
             class: class.clone(),
             init,
             expect: oid,
+        };
+        self.append_with_retry(&op).map_err(|e| {
+            self.rollback_divergence();
+            e
         })?;
         Ok(oid)
     }

@@ -22,6 +22,11 @@
 //!   and state digests. (T_Chimera state is a pure fold of its history —
 //!   the model's own valid-time semantics make event sourcing the natural
 //!   storage design.)
+//! * [`txn`] — atomic multi-operation [`txn::Transaction`]s staged on a
+//!   shadow database and committed as a single CRC-framed log record.
+//! * [`resilience`] — fault classification ([`resilience::FaultKind`]),
+//!   deterministic bounded retry ([`resilience::RetryPolicy`]) and the
+//!   read-only degradation [`resilience::CircuitBreaker`].
 //! * [`index`] — [`index::IntervalTree`] and [`index::TemporalIndex`] for
 //!   `O(log n + k)` time-travel queries (who existed / was a member at
 //!   `t`?).
@@ -38,14 +43,18 @@ pub mod index;
 pub mod log;
 pub mod observability;
 pub mod op;
+pub mod resilience;
 pub mod snapshot;
+pub mod txn;
 pub mod vfs;
 
 pub use codec::{Codec, CodecError, Reader};
-pub use engine::{digest_database, snapshot_path, EngineError, PersistentDatabase};
+pub use engine::{digest_database, snapshot_path, EngineConfig, EngineError, PersistentDatabase};
 pub use index::{IntervalTree, TemporalIndex};
 pub use log::{DamageReason, LogError, LogScan, OpLog, TailDamage};
 pub use observability::{touch_metrics, STORAGE_METRICS};
 pub use op::{Operation, ReplayError};
+pub use resilience::{BreakerState, CircuitBreaker, FaultKind, RetryPolicy};
 pub use snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
+pub use txn::Transaction;
 pub use vfs::{SimFs, StdFs, TearMode, Vfs, VfsFile};

@@ -136,6 +136,12 @@ pub struct OpLog {
     len: u64,
     appended: u64,
     base: u64,
+    /// Set when a failed append may have left partial frame bytes on disk
+    /// that could not be truncated away. While set, every append/sync
+    /// first re-attempts the truncation ([`OpLog::heal`]) — appending
+    /// after unremoved garbage would silently lose every later record at
+    /// recovery (the scan stops at the first damaged frame).
+    dirty: bool,
 }
 
 impl OpLog {
@@ -177,6 +183,7 @@ impl OpLog {
                 len,
                 appended: 0,
                 base,
+                dirty: false,
             },
             scan,
         ))
@@ -261,8 +268,15 @@ impl OpLog {
         }
         let valid_len = damage.as_ref().map_or(pos as u64, |d| d.offset);
         tchimera_obs::counter!("storage.log.scanned_ops").add(ops.len() as u64);
-        if damage.is_some() {
+        if let Some(d) = &damage {
             tchimera_obs::counter!("storage.log.torn_tails").inc();
+            tchimera_obs::counter!("storage.log.scan.damaged").inc();
+            tchimera_obs::event!(
+                "storage.log.scan.damaged",
+                level = "warn",
+                offset = d.offset,
+                reason = d.reason
+            );
         }
         LogScan {
             ops,
@@ -280,15 +294,40 @@ impl OpLog {
         Ok(Self::scan_bytes(&buf))
     }
 
+    /// Re-truncate the file to the last known-good length after a failed
+    /// append may have left partial frame bytes behind. Idempotent; a
+    /// no-op when the log is clean.
+    fn heal(&mut self) -> Result<(), LogError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.file.set_len(self.len)?;
+        self.file.sync()?;
+        self.dirty = false;
+        Ok(())
+    }
+
     /// Append one operation (buffered; call [`OpLog::sync`] to make it
     /// durable).
+    ///
+    /// On failure the file is rolled back to its pre-append length, so a
+    /// partially-written frame can never sit underneath later appends
+    /// (which would make every later record unrecoverable — the scan
+    /// stops at the first damaged frame). If the rollback itself fails,
+    /// the log stays poisoned and re-attempts the rollback before any
+    /// further append or sync.
     pub fn append(&mut self, op: &Operation) -> Result<(), LogError> {
+        self.heal()?;
         let payload = op.to_bytes();
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.file.write_all(&frame) {
+            self.dirty = true;
+            let _ = self.heal();
+            return Err(LogError::Io(e));
+        }
         self.len += frame.len() as u64;
         self.appended += 1;
         tchimera_obs::counter!("storage.log.appends").inc();
@@ -299,6 +338,7 @@ impl OpLog {
     /// Flush and fsync.
     pub fn sync(&mut self) -> Result<(), LogError> {
         let _span = tchimera_obs::span!("storage.log.fsync");
+        self.heal()?;
         self.file.sync()?;
         Ok(())
     }
@@ -325,6 +365,7 @@ impl OpLog {
         self.len = HEADER_LEN;
         self.appended = 0;
         self.base = base;
+        self.dirty = false;
         Ok(())
     }
 

@@ -15,32 +15,52 @@ use std::sync::Once;
 /// the span wrapping the fsync call and the latency histogram (in
 /// nanoseconds) that span records into.
 pub const STORAGE_METRICS: &[&str] = &[
+    "storage.breaker.probes",
+    "storage.breaker.rejected",
+    "storage.breaker.resets",
+    "storage.breaker.state",
+    "storage.breaker.trips",
     "storage.engine.checkpoint",
+    "storage.engine.rollbacks",
+    "storage.engine.txn",
     "storage.log.appends",
     "storage.log.bytes",
     "storage.log.compactions",
     "storage.log.fsync",
     "storage.log.scan",
+    "storage.log.scan.damaged",
     "storage.log.scanned_ops",
     "storage.log.torn_tails",
     "storage.recovery.open",
     "storage.recovery.replayed_ops",
     "storage.recovery.rung",
+    "storage.retry.attempts",
+    "storage.retry.backoff_units",
+    "storage.retry.exhausted",
     "storage.simfs.crashes",
     "storage.simfs.faults",
     "storage.snapshot.install",
     "storage.snapshot.load_failures",
     "storage.snapshot.loads",
+    "storage.txn.commits",
+    "storage.txn.ops",
+    "storage.txn.rollbacks",
 ];
 
 /// Span names: registered as latency histograms rather than counters.
 const SPANS: &[&str] = &[
     "storage.engine.checkpoint",
+    "storage.engine.txn",
     "storage.log.fsync",
     "storage.log.scan",
     "storage.recovery.open",
     "storage.snapshot.install",
 ];
+
+/// Gauge names: registered as gauges rather than counters.
+/// `storage.breaker.state` encodes the breaker state machine
+/// (0 = closed, 1 = half-open, 2 = open).
+const GAUGES: &[&str] = &["storage.breaker.state"];
 
 /// Register every storage metric with the global registry at zero.
 ///
@@ -53,6 +73,8 @@ pub fn touch_metrics() {
         for name in STORAGE_METRICS {
             if SPANS.contains(name) {
                 reg.histogram(name);
+            } else if GAUGES.contains(name) {
+                reg.gauge(name);
             } else {
                 reg.counter(name);
             }
@@ -79,6 +101,9 @@ mod tests {
         let snap = tchimera_obs::snapshot();
         for name in SPANS {
             assert!(snap.histogram(name).is_some(), "{name} should be a histogram");
+        }
+        for name in GAUGES {
+            assert!(snap.gauge(name).is_some(), "{name} should be a gauge");
         }
         assert!(snap.counter("storage.log.appends").is_some());
     }

@@ -10,7 +10,7 @@ use tchimera_core::{
     AttrName, Attrs, ClassDef, ClassId, Database, Instant, ModelError, Oid, Value,
 };
 
-use crate::codec::{decode_attrs, encode_attrs, Codec, CodecError, Reader};
+use crate::codec::{decode_attrs, encode_attrs, read_u64, write_u64, Codec, CodecError, Reader};
 
 /// One logged mutation.
 #[derive(Clone, Debug)]
@@ -63,6 +63,10 @@ pub enum Operation {
         /// The object.
         oid: Oid,
     },
+    /// An atomically-committed transaction: all sub-operations share one
+    /// CRC-framed log record, so recovery replays all of them or none.
+    /// Sub-operations are never `Txn` themselves (no nesting).
+    Txn(Vec<Operation>),
 }
 
 /// Errors surfacing during replay.
@@ -127,6 +131,15 @@ impl Operation {
             }
             Operation::Migrate { oid, to, init } => db.migrate(*oid, to, init.clone())?,
             Operation::Terminate { oid } => db.terminate_object(*oid)?,
+            Operation::Txn(ops) => {
+                // Atomicity across a replay is framing-level: the whole
+                // record was either durable or it wasn't. Here we just
+                // replay in order; a sub-operation failure poisons the
+                // record as a whole (the caller discards `db`).
+                for op in ops {
+                    op.apply(db)?;
+                }
+            }
         }
         Ok(())
     }
@@ -175,6 +188,13 @@ impl Codec for Operation {
                 out.push(7);
                 oid.encode(out);
             }
+            Operation::Txn(ops) => {
+                out.push(8);
+                write_u64(out, ops.len() as u64);
+                for op in ops {
+                    op.encode(out);
+                }
+            }
         }
     }
 
@@ -204,6 +224,14 @@ impl Codec for Operation {
                 init: decode_attrs(r)?,
             },
             7 => Operation::Terminate { oid: Oid::decode(r)? },
+            8 => {
+                let n = read_u64(r)?;
+                let mut ops = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    ops.push(Operation::decode(r)?);
+                }
+                Operation::Txn(ops)
+            }
             tag => return Err(CodecError::InvalidTag { what: "operation", tag }),
         })
     }
@@ -242,6 +270,15 @@ mod tests {
             },
             Operation::Terminate { oid: Oid(0) },
             Operation::DropClass(ClassId::from("employee")),
+            Operation::Txn(vec![
+                Operation::AdvanceTo(Instant(11)),
+                Operation::SetAttr {
+                    oid: Oid(0),
+                    attr: AttrName::from("salary"),
+                    value: Value::Int(130),
+                },
+            ]),
+            Operation::Txn(Vec::new()),
         ]
     }
 
@@ -283,5 +320,28 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ReplayError::Model(_)));
         assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn txn_applies_sub_operations_in_order() {
+        let mut db = Database::new();
+        Operation::Txn(vec![
+            Operation::AdvanceTo(Instant(5)),
+            Operation::DefineClass(ClassDef::new("c")),
+            Operation::CreateObject {
+                class: ClassId::from("c"),
+                init: Attrs::new(),
+                expect: Oid(0),
+            },
+        ])
+        .apply(&mut db)
+        .unwrap();
+        assert_eq!(db.now(), Instant(5));
+        assert!(db.object(Oid(0)).is_ok());
+        // A failing sub-operation surfaces as the txn's error.
+        let err = Operation::Txn(vec![Operation::DropClass(ClassId::from("ghost"))])
+            .apply(&mut db)
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::Model(_)));
     }
 }

@@ -203,13 +203,26 @@ struct SimState {
     ops_done: u64,
     /// Fail every mutating operation once `ops_done` reaches this.
     fail_after: Option<u64>,
+    /// Fail the next this-many mutating operations with a *transient*
+    /// error (`ErrorKind::Interrupted`), then recover.
+    transient_left: u64,
     /// Generation counter: bumped on crash so stale handles error out.
     generation: u64,
 }
 
 impl SimState {
-    /// Gate a mutating operation: count it, or fail it.
+    /// Gate a mutating operation: count it, or fail it. Transient faults
+    /// (a bounded run of `Interrupted` errors) are checked first so a
+    /// retry loop can observe the disk "healing".
     fn mutating_op(&mut self) -> io::Result<()> {
+        if self.transient_left > 0 {
+            self.transient_left -= 1;
+            tchimera_obs::counter!("storage.simfs.faults").inc();
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "simulated transient I/O fault",
+            ));
+        }
         if let Some(n) = self.fail_after {
             if self.ops_done >= n {
                 tchimera_obs::counter!("storage.simfs.faults").inc();
@@ -248,6 +261,15 @@ impl SimFs {
         s.fail_after = n.map(|n| s.ops_done + n);
     }
 
+    /// Fail the next `n` mutating operations with a *transient* error
+    /// (`ErrorKind::Interrupted`) and then let traffic through again —
+    /// the momentary blip a bounded-retry policy exists for. Transient
+    /// faults do not advance [`SimFs::op_count`] and are checked before
+    /// any [`SimFs::fail_after`] schedule.
+    pub fn fail_transient_next(&self, n: u64) {
+        self.0.lock().unwrap().transient_left = n;
+    }
+
     /// Simulate a whole-machine crash: un-synced file content is dropped
     /// (per `tear`), the namespace rewinds to the last directory sync,
     /// every open handle goes stale, and injected faults are cleared —
@@ -257,6 +279,7 @@ impl SimFs {
         let mut s = self.0.lock().unwrap();
         s.generation += 1;
         s.fail_after = None;
+        s.transient_left = 0;
         let mut inodes = HashMap::new();
         let durable = s.durable_names.clone();
         for &ino in durable.values() {
@@ -528,6 +551,23 @@ mod tests {
         assert!(fs.sync_dir(&p(".")).is_err());
         assert_eq!(fs.op_count(), 3);
         fs.fail_after(None);
+        f.sync().unwrap();
+        assert_eq!(fs.read(&p("a")).unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn fail_transient_next_injects_a_bounded_run_of_interrupted_errors() {
+        let fs = SimFs::new();
+        let mut f = fs.open_append(&p("a")).unwrap();
+        f.write_all(b"one").unwrap();
+        let before = fs.op_count();
+        fs.fail_transient_next(2);
+        for _ in 0..2 {
+            let err = f.write_all(b"x").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        }
+        assert_eq!(fs.op_count(), before, "transient faults don't consume ops");
+        f.write_all(b"two").unwrap();
         f.sync().unwrap();
         assert_eq!(fs.read(&p("a")).unwrap(), b"onetwo");
     }

@@ -1,0 +1,163 @@
+//! Circuit-breaker behavior, end to end: the state machine mirrored
+//! into the `storage.breaker.state` gauge, read-only degradation on the
+//! engine, and half-open probing via `try_reset`.
+//!
+//! This lives in its own test binary: the breaker gauge is a global
+//! metric, so these assertions must not share a process with tests that
+//! open engines concurrently. Within the binary a mutex serializes the
+//! gauge readers.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use tchimera_core::{attrs, ClassDef, Instant, Type, Value};
+use tchimera_storage::{
+    BreakerState, CircuitBreaker, EngineConfig, EngineError, PersistentDatabase, SimFs, Vfs,
+};
+
+static GAUGE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GAUGE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn gauge() -> i64 {
+    tchimera_obs::snapshot()
+        .gauge("storage.breaker.state")
+        .expect("breaker gauge is registered the moment a breaker exists")
+}
+
+fn counter(name: &str) -> u64 {
+    tchimera_obs::snapshot().counter(name).unwrap_or(0)
+}
+
+/// Every state transition is mirrored into the gauge, including the
+/// transient half-open probe states an engine only passes through.
+#[test]
+fn breaker_gauge_mirrors_every_transition() {
+    let _g = lock();
+    let mut b = CircuitBreaker::new(2);
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert_eq!(gauge(), 0);
+
+    b.note_failure();
+    assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+    assert_eq!(gauge(), 0);
+    b.note_failure();
+    assert_eq!(b.state(), BreakerState::Open, "threshold reached");
+    assert_eq!(gauge(), 2);
+
+    assert!(b.begin_probe());
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+    assert_eq!(gauge(), 1);
+    b.note_failure();
+    assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+    assert_eq!(gauge(), 2);
+
+    assert!(b.begin_probe());
+    assert_eq!(gauge(), 1);
+    b.note_success();
+    assert_eq!(b.state(), BreakerState::Closed, "successful probe closes");
+    assert_eq!(gauge(), 0);
+    assert_eq!(b.consecutive_failures(), 0);
+
+    assert!(!b.begin_probe(), "no probe needed while closed");
+}
+
+/// N surfaced write faults flip the engine read-only: reads, metrics and
+/// recovery inspection keep working, writes fail fast with the dedicated
+/// error, and `try_reset` restores service once the VFS heals.
+#[test]
+fn engine_degrades_to_read_only_and_try_reset_restores() {
+    let _g = lock();
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("breaker.log");
+    let mut pdb = PersistentDatabase::open_with_config(
+        Arc::clone(&vfs),
+        &path,
+        EngineConfig {
+            breaker_threshold: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    pdb.define_class(ClassDef::new("person").attr("address", Type::STRING))
+        .unwrap();
+    pdb.advance_to(Instant(1)).unwrap();
+    pdb.create_object(&"person".into(), attrs([("address", Value::str("Pisa"))]))
+        .unwrap();
+    pdb.sync().unwrap();
+    let digest = pdb.state_digest();
+    let rejected_before = counter("storage.breaker.rejected");
+    let trips_before = counter("storage.breaker.trips");
+
+    // The disk dies: threshold = 2 surfaced faults flip the breaker.
+    fs.fail_after(Some(0));
+    for _ in 0..2 {
+        match pdb.tick() {
+            Err(EngineError::Write { .. }) => {}
+            other => panic!("expected a surfaced write fault, got {other:?}"),
+        }
+        assert_eq!(pdb.state_digest(), digest, "failed write mutated state");
+    }
+    assert!(pdb.is_read_only());
+    assert_eq!(pdb.breaker_state(), BreakerState::Open);
+    assert_eq!(gauge(), 2);
+    assert!(counter("storage.breaker.trips") > trips_before);
+
+    // Writes now fail fast, without touching the VFS.
+    let io_before = fs.op_count();
+    match pdb.tick() {
+        Err(EngineError::ReadOnly {
+            consecutive_failures,
+        }) => assert!(consecutive_failures >= 2),
+        other => panic!("expected ReadOnly, got {other:?}"),
+    }
+    assert_eq!(fs.op_count(), io_before, "fast-fail must not issue I/O");
+    assert!(counter("storage.breaker.rejected") > rejected_before);
+
+    // Reads, metrics and recovery inspection still answer.
+    assert_eq!(pdb.state_digest(), digest);
+    assert_eq!(pdb.db().object_count(), 1);
+    assert!(pdb.db().check_database().is_consistent());
+    assert!(pdb.state_at_op(1).is_ok(), "recovery inspection degraded");
+
+    // A probe against a still-dead disk re-opens the breaker...
+    assert!(!pdb.try_reset());
+    assert!(pdb.is_read_only());
+    assert_eq!(gauge(), 2);
+
+    // ...and a probe after the VFS heals restores service.
+    fs.fail_after(None);
+    let resets_before = counter("storage.breaker.resets");
+    assert!(pdb.try_reset());
+    assert!(!pdb.is_read_only());
+    assert_eq!(pdb.breaker_state(), BreakerState::Closed);
+    assert_eq!(gauge(), 0);
+    assert!(counter("storage.breaker.resets") > resets_before);
+
+    pdb.tick().unwrap();
+    pdb.sync().unwrap();
+    assert_eq!(pdb.db().now(), Instant(2));
+}
+
+/// `trip` forces degradation without waiting for faults (the operator
+/// override), and `try_reset` on a healthy disk closes it again.
+#[test]
+fn manual_trip_and_reset() {
+    let _g = lock();
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("trip.log");
+    let mut pdb = PersistentDatabase::open_with(vfs, &path).unwrap();
+    pdb.tick().unwrap();
+
+    pdb.trip();
+    assert!(pdb.is_read_only());
+    assert!(matches!(pdb.tick(), Err(EngineError::ReadOnly { .. })));
+
+    assert!(pdb.try_reset(), "healthy disk: probe must succeed");
+    assert!(!pdb.is_read_only());
+    pdb.tick().unwrap();
+}

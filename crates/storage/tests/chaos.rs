@@ -1,0 +1,616 @@
+//! The chaos harness: a seeded, randomized transactional workload over
+//! [`SimFs`] with fail-at-Nth-write × tear-mode fault schedules.
+//!
+//! Method (the transactional extension of `crash_matrix.rs`): run the
+//! workload once fault-free, recording the state digest after **every
+//! committed transaction** — the set of *committed-txn boundary states*
+//! — plus the total mutating I/O count `M`. Then for each `k < M` and
+//! each [`TearMode`], re-run with the disk dying at workload I/O `k`:
+//!
+//! * the moment a commit fails, the live state must equal the pre-txn
+//!   digest (rollback is observable immediately, not just after
+//!   recovery);
+//! * continued writes drive the circuit breaker open (fail-fast
+//!   [`EngineError::ReadOnly`]) while reads keep answering;
+//! * after a crash + reopen, the recovered digest must be **some**
+//!   committed-transaction boundary and `check_database` must be clean
+//!   — a partially applied transaction is never observable, in memory
+//!   or on disk.
+//!
+//! The reference run also interleaves a seeded concurrent read workload
+//! (clones of the live `Database` on reader threads) with the
+//! serialized transactional writer.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tchimera_core::{
+    attrs, Attrs, ClassDef, ClassId, Database, Instant, ModelError, Oid, Type, Value,
+};
+use tchimera_storage::{
+    EngineConfig, EngineError, FaultKind, PersistentDatabase, SimFs, TearMode, Vfs,
+};
+
+const SEED: u64 = 0xC41A05;
+const TXNS: usize = 110;
+const CHECKPOINT_AT: usize = 40;
+const SYNC_EVERY: usize = 7;
+
+fn person() -> ClassId {
+    ClassId::from("person")
+}
+fn employee() -> ClassId {
+    ClassId::from("employee")
+}
+
+/// What a (possibly fault-interrupted) chaos run observed.
+struct ChaosTrace {
+    /// Digest after each committed transaction, starting with the state
+    /// at open. Only filled on the reference run.
+    boundaries: Vec<u64>,
+    /// Logical (staged) operations across committed transactions.
+    logical_ops: usize,
+    /// The run finished every transaction without an injected fault.
+    completed: bool,
+}
+
+/// Alive objects partitioned by current class, recomputed from the live
+/// database after every commit and sorted by oid — so the seeded drive
+/// sequence is a pure function of committed history (identical across
+/// the reference run and every fault run up to the fault point).
+#[derive(Default)]
+struct Population {
+    employees: Vec<Oid>,
+    persons: Vec<Oid>,
+}
+
+impl Population {
+    fn recompute(&mut self, db: &Database) {
+        self.employees.clear();
+        self.persons.clear();
+        let now = db.now();
+        for o in db.objects() {
+            if !o.lifespan.is_alive() {
+                continue;
+            }
+            match o.current_class(now) {
+                Some(c) if *c == employee() => self.employees.push(o.oid),
+                Some(c) if *c == person() => self.persons.push(o.oid),
+                _ => {}
+            }
+        }
+        self.employees.sort();
+        self.persons.sort();
+    }
+
+    fn all(&self) -> Vec<Oid> {
+        let mut v = self.employees.clone();
+        v.extend_from_slice(&self.persons);
+        v.sort();
+        v
+    }
+}
+
+/// After a surfaced commit failure: assert the rollback was already
+/// observable, then keep writing until the breaker opens and check that
+/// the engine degrades to read-only instead of wedging or corrupting.
+fn assert_degrades_read_only(pdb: &mut PersistentDatabase, boundary: u64) {
+    assert_eq!(
+        pdb.state_digest(),
+        boundary,
+        "failed commit left a partially-applied transaction in memory"
+    );
+    for _ in 0..6 {
+        match pdb.txn(|t| t.tick().map(|_| ())) {
+            Err(EngineError::Write { .. }) | Err(EngineError::ReadOnly { .. }) => {}
+            Err(e) => panic!("unexpected failure kind under injected faults: {e}"),
+            Ok(()) => panic!("write succeeded on a dead disk"),
+        }
+        assert_eq!(pdb.state_digest(), boundary, "failed txn mutated live state");
+    }
+    assert!(
+        pdb.is_read_only(),
+        "breaker still closed after repeated surfaced failures"
+    );
+    // Degraded mode: reads and metrics still answer.
+    let _ = pdb.db().object_count();
+    assert!(pdb.db().check_database().is_consistent());
+    assert!(
+        tchimera_obs::snapshot()
+            .gauge("storage.breaker.state")
+            .is_some(),
+        "breaker gauge missing from the metrics snapshot"
+    );
+}
+
+/// Drive the seeded transactional workload. Stops at the first surfaced
+/// write fault (after running the degradation checks) with
+/// `completed = false`.
+fn run_chaos(vfs: &Arc<dyn Vfs>, path: &Path, reference: bool) -> ChaosTrace {
+    let mut trace = ChaosTrace {
+        boundaries: Vec::new(),
+        logical_ops: 0,
+        completed: false,
+    };
+    let mut pdb = PersistentDatabase::open_with_config(
+        Arc::clone(vfs),
+        path,
+        EngineConfig {
+            breaker_threshold: 3,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("open is fault-free in every chaos run");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut pop = Population::default();
+    pop.recompute(pdb.db());
+    let mut readers = Vec::new();
+    let mut committed = 0usize;
+
+    if reference {
+        trace.boundaries.push(pdb.state_digest());
+    }
+
+    for i in 0..TXNS {
+        let pre = pdb.state_digest();
+        let kind = rng.gen_range(0..6u32);
+        // Every closure returns the number of staged (logical) ops.
+        let result: Result<usize, EngineError> = match kind {
+            // The paper's motivating case: two objects referencing each
+            // other, atomically — referential integrity (Definition
+            // 5.6) can never observe one half of the pair.
+            1 => pdb.txn(|t| {
+                let a = t.create_object(
+                    &person(),
+                    attrs([("address", Value::str("Pisa")), ("friend", Value::Null)]),
+                )?;
+                let b = t.create_object(
+                    &person(),
+                    attrs([("address", Value::str("Lucca")), ("friend", Value::Oid(a))]),
+                )?;
+                t.set_attr(a, &"friend".into(), Value::Oid(b))?;
+                Ok(t.staged_ops())
+            }),
+            // A raise round: advance time, bump a few salaries.
+            2 if !pop.employees.is_empty() => {
+                let n = 1 + rng.gen_range(0..pop.employees.len().min(3));
+                let picks: Vec<Oid> = (0..n)
+                    .map(|_| pop.employees[rng.gen_range(0..pop.employees.len())])
+                    .collect();
+                let raise = rng.gen_range(1..50i64);
+                pdb.txn(move |t| {
+                    t.tick()?;
+                    for &oid in &picks {
+                        let cur = match t.db().attr_now(oid, &"salary".into()) {
+                            Ok(Value::Int(v)) => v,
+                            _ => 0,
+                        };
+                        t.set_attr(oid, &"salary".into(), Value::Int(cur + raise))?;
+                    }
+                    Ok(t.staged_ops())
+                })
+            }
+            // Migration plus fix-up write, atomically.
+            3 if !pop.employees.is_empty() => {
+                let oid = pop.employees[rng.gen_range(0..pop.employees.len())];
+                pdb.txn(move |t| {
+                    t.tick()?;
+                    t.migrate(oid, &person(), Attrs::new())?;
+                    t.set_attr(oid, &"address".into(), Value::str("Genova"))?;
+                    Ok(t.staged_ops())
+                })
+            }
+            // Safe termination: null out every inbound reference from a
+            // live object, then terminate — one atomic unit, so no
+            // instant ever shows a dangling reference.
+            4 if pop.all().len() > 3 => {
+                let all = pop.all();
+                let victim = all[rng.gen_range(0..all.len())];
+                pdb.txn(move |t| {
+                    t.tick()?;
+                    for r in t.db().referrers_of(victim) {
+                        if r == victim {
+                            continue;
+                        }
+                        let alive = t.db().object(r).map(|o| o.lifespan.is_alive());
+                        if alive == Ok(true) {
+                            t.set_attr(r, &"friend".into(), Value::Null)?;
+                        }
+                    }
+                    t.terminate_object(victim)?;
+                    Ok(t.staged_ops())
+                })
+            }
+            // A deliberately aborted transaction: stages mutations, then
+            // bails. Must leave no trace.
+            5 => {
+                let aborted = pdb.txn(|t| -> Result<usize, EngineError> {
+                    t.tick()?;
+                    t.create_object(
+                        &person(),
+                        attrs([("address", Value::str("ghost")), ("friend", Value::Null)]),
+                    )?;
+                    Err(EngineError::Model(ModelError::Internal {
+                        context: "deliberate abort",
+                    }))
+                });
+                assert!(aborted.is_err(), "transaction {i} should have aborted");
+                assert_eq!(
+                    pdb.state_digest(),
+                    pre,
+                    "aborted transaction {i} left a trace in the live state"
+                );
+                continue;
+            }
+            // Kind 0 and the bootstrap fallthrough while the population
+            // is too small for the arm that was drawn: a fresh employee,
+            // with a tick so histories spread over time.
+            _ => pdb.txn(|t| {
+                t.tick()?;
+                t.create_object(
+                    &employee(),
+                    attrs([
+                        ("salary", Value::Int(100 + i as i64)),
+                        ("address", Value::str("Milano")),
+                        ("friend", Value::Null),
+                    ]),
+                )?;
+                Ok(t.staged_ops())
+            }),
+        };
+
+        match result {
+            Ok(staged) => {
+                trace.logical_ops += staged;
+                committed += 1;
+                pop.recompute(pdb.db());
+                if reference {
+                    trace.boundaries.push(pdb.state_digest());
+                }
+            }
+            Err(EngineError::Write { .. }) | Err(EngineError::ReadOnly { .. }) => {
+                assert_degrades_read_only(&mut pdb, pre);
+                return trace;
+            }
+            Err(e) => panic!("transaction {i} rejected by the model: {e}"),
+        }
+
+        if i % SYNC_EVERY == SYNC_EVERY - 1 && pdb.sync().is_err() {
+            // A sync failure mutates nothing: the live state is still
+            // the last committed boundary.
+            let boundary = pdb.state_digest();
+            assert_degrades_read_only(&mut pdb, boundary);
+            return trace;
+        }
+        if i == CHECKPOINT_AT && pdb.checkpoint().is_err() {
+            let boundary = pdb.state_digest();
+            assert_degrades_read_only(&mut pdb, boundary);
+            return trace;
+        }
+
+        // Concurrent readers over a clone of the live state (reference
+        // run only — fault runs must stay cheap).
+        if reference && committed % 16 == 15 {
+            let snap = pdb.db().clone();
+            let seed = SEED ^ committed as u64;
+            readers.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                assert!(snap.check_database().is_consistent());
+                let max_oid = snap.object_count() as u64 + 2;
+                for _ in 0..50 {
+                    let oid = Oid(rng.gen_range(0..max_oid));
+                    let t = Instant(rng.gen_range(0..snap.now().ticks() + 1));
+                    // Unknown oids / instants are legal outcomes; the
+                    // point is that reads never panic or see torn state.
+                    let _ = snap.attr_at(oid, &"salary".into(), t);
+                    let _ = snap.attr_at(oid, &"friend".into(), t);
+                }
+                snap.object_count()
+            }));
+        }
+    }
+
+    if pdb.sync().is_err() {
+        let boundary = pdb.state_digest();
+        assert_degrades_read_only(&mut pdb, boundary);
+        return trace;
+    }
+    for r in readers {
+        r.join().expect("reader thread panicked");
+    }
+    trace.completed = true;
+    trace
+}
+
+/// The fault-free schema prologue every run starts from.
+fn schema_txn(pdb: &mut PersistentDatabase) -> Result<(), EngineError> {
+    pdb.txn(|t| {
+        t.define_class(
+            ClassDef::new("person")
+                .attr("address", Type::STRING)
+                .attr("friend", Type::temporal(Type::object("person"))),
+        )?;
+        t.define_class(
+            ClassDef::new("employee")
+                .isa("person")
+                .attr("salary", Type::temporal(Type::INTEGER)),
+        )?;
+        t.advance_to(Instant(1))?;
+        Ok(())
+    })
+}
+
+/// Reference + fail-at-every-I/O matrix driver for one tear mode.
+fn chaos_matrix(tear: TearMode) {
+    let path = PathBuf::from("chaos.log");
+
+    // Reference run: fault-free, records every committed-txn boundary.
+    let ref_fs = SimFs::new();
+    let ref_vfs: Arc<dyn Vfs> = Arc::new(ref_fs.clone());
+    {
+        let mut pdb = PersistentDatabase::open_with(Arc::clone(&ref_vfs), &path).unwrap();
+        schema_txn(&mut pdb).unwrap();
+        pdb.sync().unwrap();
+    }
+    let schema_io = ref_fs.op_count();
+    let reference = run_chaos(&ref_vfs, &path, true);
+    assert!(reference.completed, "reference run must be fault-free");
+    assert!(
+        reference.logical_ops >= 200,
+        "workload too small: {} logical ops",
+        reference.logical_ops
+    );
+    let boundary_set: HashSet<u64> = reference.boundaries.iter().copied().collect();
+    let workload_io = ref_fs.op_count() - schema_io;
+    assert!(workload_io > 0, "workload performed no I/O");
+
+    for k in 0..workload_io {
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        // The schema prologue gets a fault-free window in every run;
+        // `fail_after` counts from the current op count, so `k` indexes
+        // workload I/O in both the reference and this run.
+        {
+            let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+            schema_txn(&mut pdb).unwrap();
+            pdb.sync().unwrap();
+        }
+        fs.fail_after(Some(k));
+        let interrupted = run_chaos(&vfs, &path, false);
+        if interrupted.completed {
+            // The schedule never fired inside the workload (trailing
+            // syncs absorbed it): nothing further to check.
+            continue;
+        }
+        fs.crash(tear);
+
+        let pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path)
+            .unwrap_or_else(|e| panic!("fault at I/O {k} ({tear:?}): recovery failed: {e}"));
+        let digest = pdb.state_digest();
+        assert!(
+            boundary_set.contains(&digest),
+            "fault at I/O {k} ({tear:?}): recovered digest {digest:#018x} is not a \
+             committed-transaction boundary"
+        );
+        assert!(
+            pdb.db().check_database().is_consistent(),
+            "fault at I/O {k} ({tear:?}): recovered state fails Definition 5.6"
+        );
+    }
+}
+
+#[test]
+fn chaos_matrix_drop_all() {
+    chaos_matrix(TearMode::DropAll);
+}
+
+#[test]
+fn chaos_matrix_keep_half() {
+    chaos_matrix(TearMode::KeepHalf);
+}
+
+#[test]
+fn chaos_matrix_keep_all() {
+    chaos_matrix(TearMode::KeepAll);
+}
+
+// ---------------------------------------------------------------------
+// Transaction semantics (no faults)
+// ---------------------------------------------------------------------
+
+#[test]
+fn txn_commits_atomically_and_recovers_as_one_record() {
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("txn.log");
+    let digest = {
+        let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+        schema_txn(&mut pdb).unwrap();
+        let (a, b) = pdb
+            .txn(|t| {
+                let a = t.create_object(
+                    &person(),
+                    attrs([("address", Value::str("Pisa")), ("friend", Value::Null)]),
+                )?;
+                let b = t.create_object(
+                    &person(),
+                    attrs([("address", Value::str("Lucca")), ("friend", Value::Oid(a))]),
+                )?;
+                t.set_attr(a, &"friend".into(), Value::Oid(b))?;
+                Ok((a, b))
+            })
+            .unwrap();
+        assert_eq!((a, b), (Oid(0), Oid(1)));
+        // One log record per txn: schema txn + pair txn.
+        assert_eq!(pdb.op_count(), 2);
+        pdb.sync().unwrap();
+        pdb.state_digest()
+    };
+    let pdb = PersistentDatabase::open_with(vfs, &path).unwrap();
+    assert_eq!(pdb.state_digest(), digest);
+    assert_eq!(pdb.recovered_ops(), 2);
+    assert!(pdb.db().check_database().is_consistent());
+    assert_eq!(
+        pdb.db().attr_now(Oid(0), &"friend".into()).unwrap(),
+        Value::Oid(Oid(1))
+    );
+}
+
+#[test]
+fn txn_closure_error_rolls_back_everything() {
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("rollback.log");
+    let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+    schema_txn(&mut pdb).unwrap();
+    let pre = pdb.state_digest();
+    let pre_ops = pdb.op_count();
+
+    let err = pdb.txn(|t| -> Result<(), EngineError> {
+        t.tick()?;
+        t.create_object(
+            &person(),
+            attrs([("address", Value::str("x")), ("friend", Value::Null)]),
+        )?;
+        // A model rejection mid-transaction...
+        t.drop_class(&ClassId::from("ghost"))
+    });
+    assert!(err.is_err());
+    // ...rolls back the staged tick and create entirely.
+    assert_eq!(pdb.state_digest(), pre);
+    assert_eq!(pdb.op_count(), pre_ops);
+    assert_eq!(pdb.db().object_count(), 0);
+
+    // The shadow is isolated until commit: staged writes are visible
+    // inside the transaction, invisible outside until it returns Ok.
+    let mut observed_in_txn = None;
+    pdb.txn(|t| {
+        t.tick()?;
+        let o = t.create_object(
+            &person(),
+            attrs([("address", Value::str("y")), ("friend", Value::Null)]),
+        )?;
+        observed_in_txn = Some(t.db().object_count());
+        Ok(o)
+    })
+    .unwrap();
+    assert_eq!(
+        observed_in_txn,
+        Some(1),
+        "reads inside a txn see staged writes"
+    );
+    assert_eq!(pdb.db().object_count(), 1);
+}
+
+#[test]
+fn torn_txn_record_recovers_to_the_previous_boundary() {
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("torn.log");
+    let boundary = {
+        let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+        schema_txn(&mut pdb).unwrap();
+        pdb.sync().unwrap();
+        let boundary = pdb.state_digest();
+        // A multi-op txn that is appended but never synced, then torn.
+        pdb.txn(|t| {
+            t.tick()?;
+            let a = t.create_object(
+                &person(),
+                attrs([("address", Value::str("a")), ("friend", Value::Null)]),
+            )?;
+            let b = t.create_object(
+                &person(),
+                attrs([("address", Value::str("b")), ("friend", Value::Oid(a))]),
+            )?;
+            t.set_attr(a, &"friend".into(), Value::Oid(b))
+        })
+        .unwrap();
+        boundary
+    };
+    fs.crash(TearMode::KeepHalf);
+    let pdb = PersistentDatabase::open_with(vfs, &path).unwrap();
+    assert_eq!(
+        pdb.state_digest(),
+        boundary,
+        "a torn transaction record must vanish wholesale"
+    );
+    assert_eq!(pdb.db().object_count(), 0, "no half of the pair survives");
+    assert!(pdb.db().check_database().is_consistent());
+}
+
+// ---------------------------------------------------------------------
+// Deterministic retry
+// ---------------------------------------------------------------------
+
+#[test]
+fn transient_faults_shorter_than_the_budget_are_absorbed() {
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("transient.log");
+    let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+    schema_txn(&mut pdb).unwrap();
+
+    let attempts_before = tchimera_obs::snapshot()
+        .counter("storage.retry.attempts")
+        .unwrap_or(0);
+    // Default policy: 4 attempts. Two transient faults are absorbed
+    // (the log's post-failure heal consumes I/O too, so the fault run
+    // splits between the failed append and its repair).
+    fs.fail_transient_next(2);
+    pdb.txn(|t| t.tick().map(|_| ())).unwrap();
+    assert!(
+        !pdb.is_read_only(),
+        "absorbed faults must not feed the breaker"
+    );
+    let attempts_after = tchimera_obs::snapshot()
+        .counter("storage.retry.attempts")
+        .unwrap_or(0);
+    assert!(
+        attempts_after > attempts_before,
+        "every retry must be visible in the metrics snapshot \
+         ({attempts_before} -> {attempts_after})"
+    );
+    // The write really landed.
+    pdb.sync().unwrap();
+    assert_eq!(pdb.db().now(), Instant(2));
+}
+
+#[test]
+fn transient_runs_longer_than_the_budget_exhaust_deterministically() {
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("exhaust.log");
+    let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+    schema_txn(&mut pdb).unwrap();
+
+    let exhausted_before = tchimera_obs::snapshot()
+        .counter("storage.retry.exhausted")
+        .unwrap_or(0);
+    let pre = pdb.state_digest();
+    fs.fail_transient_next(10);
+    let err = pdb.txn(|t| t.tick().map(|_| ())).unwrap_err();
+    match err {
+        EngineError::Write {
+            fault, attempts, ..
+        } => {
+            assert_eq!(fault, FaultKind::Transient);
+            assert_eq!(attempts, 4, "default policy = 4 attempts, deterministic");
+        }
+        e => panic!("expected Write, got {e}"),
+    }
+    assert_eq!(pdb.state_digest(), pre, "exhausted txn must roll back");
+    let exhausted_after = tchimera_obs::snapshot()
+        .counter("storage.retry.exhausted")
+        .unwrap_or(0);
+    assert!(exhausted_after > exhausted_before);
+    // Clear the remaining scheduled faults and confirm the engine
+    // recovers on its own (a single exhaustion is below the breaker
+    // threshold).
+    fs.fail_transient_next(0);
+    pdb.txn(|t| t.tick().map(|_| ())).unwrap();
+    assert!(!pdb.is_read_only());
+}

@@ -50,7 +50,9 @@ pub use tchimera_core::{
     CAPABILITIES,
 };
 pub use tchimera_query::{Interpreter, Outcome, QueryError, QueryResult};
-pub use tchimera_storage::{PersistentDatabase, TemporalIndex};
+pub use tchimera_storage::{
+    EngineConfig, EngineError, PersistentDatabase, TemporalIndex, Transaction,
+};
 
 /// The README's code examples, compile-checked as doctests.
 #[doc = include_str!("../README.md")]
