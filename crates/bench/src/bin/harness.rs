@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E13, E15) and prints them as Markdown.
+//! (E1–E13, E15, E16) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -62,6 +62,9 @@ fn main() {
     }
     if want("E15") {
         e15_resilience();
+    }
+    if want("E16") {
+        e16_query_planner();
     }
 }
 
@@ -745,5 +748,62 @@ fn e15_resilience() {
         fmt_ns(reject_ns),
         fmt_ns(reject_ns / N as f64),
     );
+    println!();
+}
+
+fn e16_query_planner() {
+    header("E16", "Query planner vs naive evaluation");
+    let bindings =
+        || tchimera_obs::snapshot().counter("query.eval.bindings").unwrap_or(0);
+    let sel = |src: &str| match parse(src).unwrap() {
+        Stmt::Select(s) => s,
+        _ => unreachable!(),
+    };
+    println!("| workload | naive | planner | naive bindings | planner bindings |");
+    println!("|---|---|---|---|---|");
+    let workloads: &[(&str, Database, &str)] = &[
+        (
+            "selective join, 400 objects",
+            tchimera_bench::org_db(400, 42),
+            "select e.name, m.name from employee e, employee m \
+             where e.boss = m and e.salary >= 4500",
+        ),
+        (
+            "limit 10, 2000 objects",
+            staff_db(2_000, 2, 42),
+            "select e, e.salary from employee e where e.salary >= 1000 limit 10",
+        ),
+    ];
+    for (name, db, src) in workloads {
+        let q = sel(src);
+        check_select(db.schema(), &q).unwrap();
+        let b0 = bindings();
+        let naive = tchimera_query::eval_select_naive(db, &q).unwrap();
+        let naive_bindings = bindings() - b0;
+        let b0 = bindings();
+        let planned = eval_select(db, &q).unwrap();
+        let plan_bindings = bindings() - b0;
+        assert_eq!(naive.rows, planned.rows, "planner must match naive");
+        let naive_ns = time_ns(7, || tchimera_query::eval_select_naive(db, &q).unwrap());
+        let plan_ns = time_ns(7, || eval_select(db, &q).unwrap());
+        println!(
+            "| {name} | {} | {} | {naive_bindings} | {plan_bindings} |",
+            fmt_ns(naive_ns),
+            fmt_ns(plan_ns),
+        );
+    }
+    println!();
+    // Plan cache: repeated statement execution through the interpreter.
+    let mut interp = tchimera_query::Interpreter::with_db(staff_db(500, 2, 42));
+    let stmt = "select e, e.salary from employee e where e.salary >= 2500 \
+                order by e.salary desc limit 5";
+    interp.run(stmt).unwrap(); // populate the cache
+    let h0 = tchimera_obs::snapshot().counter("query.plan.cache.hit").unwrap_or(0);
+    let warm_ns = time_ns(31, || interp.run(stmt).unwrap());
+    let hits = tchimera_obs::snapshot().counter("query.plan.cache.hit").unwrap_or(0) - h0;
+    println!("| plan cache | value |");
+    println!("|---|---|");
+    println!("| warm statement (cache hit) | {} |", fmt_ns(warm_ns));
+    println!("| cache hits over 31 reruns | {hits} |");
     println!();
 }

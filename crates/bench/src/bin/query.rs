@@ -1,0 +1,194 @@
+//! Standalone query-planner study (experiment E16): planned pipeline vs
+//! the reference cross-product evaluator, emitting machine-readable
+//! `BENCH_query.json`.
+//!
+//! ```text
+//! cargo run --release -p tchimera-bench --bin query            # full
+//! cargo run --release -p tchimera-bench --bin query -- --quick # small sizes
+//! ```
+//!
+//! Four workloads:
+//!
+//! * **selective join** — a two-variable reference join with a selective
+//!   attribute prefilter. Examined-binding counts come from the engine's
+//!   own `query.eval.bindings` counter, not from inference; the run
+//!   asserts the planner examines ≥10× fewer bindings than the naive
+//!   cross product.
+//! * **limit** — `LIMIT k` without `ORDER BY`: the planner stops after
+//!   `k` survivors instead of materializing the full extent.
+//! * **plan cache** — repeated statement execution through the
+//!   interpreter: a hit skips parsing-adjacent typechecking and planning.
+//! * **parallel scan** — a quantifier-heavy single-variable query,
+//!   serial vs rayon-partitioned.
+
+use tchimera_bench::{fmt_ns, org_db, staff_db, time_ns};
+use tchimera_query::ast::Select;
+use tchimera_query::exec::{execute_plan, ExecOptions};
+use tchimera_query::{
+    check_select, eval_select, eval_select_naive, parse, plan_select, Interpreter, Stmt,
+};
+
+fn sel(src: &str) -> Select {
+    match parse(src).unwrap() {
+        Stmt::Select(s) => s,
+        other => panic!("not a select: {other:?}"),
+    }
+}
+
+/// Cumulative `query.eval.bindings` counter.
+fn bindings_counter() -> u64 {
+    tchimera_obs::snapshot()
+        .counter("query.eval.bindings")
+        .unwrap_or(0)
+}
+
+struct JoinRow {
+    n: usize,
+    naive_ns: f64,
+    plan_ns: f64,
+    naive_bindings: u64,
+    plan_bindings: u64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let join_sizes: &[usize] = if quick { &[100, 400] } else { &[100, 400, 1_500] };
+
+    // ------------------------------------------------------------------
+    // Selective two-variable join.
+    // ------------------------------------------------------------------
+    println!("# E16 — query planner vs naive evaluation\n");
+    println!("## Selective join: `e.boss = m and e.salary >= 4500`\n");
+    println!("| objects | naive | planner | speedup | naive bindings | planner bindings | ratio |");
+    println!("|---|---|---|---|---|---|---|");
+    let join_src = "select e.name, m.name from employee e, employee m \
+                    where e.boss = m and e.salary >= 4500";
+    let mut join_rows = Vec::new();
+    for &n in join_sizes {
+        let db = org_db(n, 42);
+        let q = sel(join_src);
+        check_select(db.schema(), &q).unwrap();
+        let reps = if n >= 1_000 { 3 } else { 7 };
+
+        let b0 = bindings_counter();
+        let naive = eval_select_naive(&db, &q).unwrap();
+        let naive_bindings = bindings_counter() - b0;
+        let b0 = bindings_counter();
+        let planned = eval_select(&db, &q).unwrap();
+        let plan_bindings = bindings_counter() - b0;
+        assert_eq!(naive.rows, planned.rows, "planner must match naive");
+        assert!(
+            plan_bindings * 10 <= naive_bindings,
+            "expected ≥10× fewer bindings: naive={naive_bindings} planner={plan_bindings}"
+        );
+
+        let naive_ns = time_ns(reps, || eval_select_naive(&db, &q).unwrap());
+        let plan_ns = time_ns(reps, || eval_select(&db, &q).unwrap());
+        println!(
+            "| {n} | {} | {} | {:.1}× | {naive_bindings} | {plan_bindings} | {:.0}× |",
+            fmt_ns(naive_ns),
+            fmt_ns(plan_ns),
+            naive_ns / plan_ns,
+            naive_bindings as f64 / plan_bindings.max(1) as f64,
+        );
+        join_rows.push(JoinRow { n, naive_ns, plan_ns, naive_bindings, plan_bindings });
+    }
+
+    // ------------------------------------------------------------------
+    // LIMIT early exit.
+    // ------------------------------------------------------------------
+    let limit_n = if quick { 2_000 } else { 10_000 };
+    let db = staff_db(limit_n, 2, 42);
+    let q = sel("select e, e.salary from employee e where e.salary >= 1000 limit 10");
+    check_select(db.schema(), &q).unwrap();
+    let b0 = bindings_counter();
+    let naive = eval_select_naive(&db, &q).unwrap();
+    let limit_naive_bindings = bindings_counter() - b0;
+    let b0 = bindings_counter();
+    let planned = eval_select(&db, &q).unwrap();
+    let limit_plan_bindings = bindings_counter() - b0;
+    assert_eq!(naive.rows, planned.rows);
+    let limit_naive_ns = time_ns(7, || eval_select_naive(&db, &q).unwrap());
+    let limit_plan_ns = time_ns(7, || eval_select(&db, &q).unwrap());
+    println!("\n## LIMIT 10 without ORDER BY ({limit_n} objects)\n");
+    println!("| evaluator | time | bindings examined |");
+    println!("|---|---|---|");
+    println!("| naive | {} | {limit_naive_bindings} |", fmt_ns(limit_naive_ns));
+    println!("| planner | {} | {limit_plan_bindings} |", fmt_ns(limit_plan_ns));
+
+    // ------------------------------------------------------------------
+    // Plan cache: repeated interpreter execution.
+    // ------------------------------------------------------------------
+    let mut interp = Interpreter::with_db(staff_db(if quick { 200 } else { 1_000 }, 2, 42));
+    let stmt = "select e, e.salary from employee e where e.salary >= 2500 \
+                order by e.salary desc limit 5";
+    interp.run(stmt).unwrap(); // populate the cache
+    let hits0 = tchimera_obs::snapshot().counter("query.plan.cache.hit").unwrap_or(0);
+    let warm_ns = time_ns(51, || interp.run(stmt).unwrap());
+    let hits = tchimera_obs::snapshot().counter("query.plan.cache.hit").unwrap_or(0) - hits0;
+    // The work a hit skips: typecheck + plan (parse excluded — both paths parse).
+    let q = sel(stmt);
+    let overhead_ns = time_ns(51, || {
+        check_select(interp.db().schema(), &q).unwrap();
+        plan_select(&q)
+    });
+    println!("\n## Plan cache (interpreter statement loop)\n");
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| warm statement (cache hit) | {} |", fmt_ns(warm_ns));
+    println!("| typecheck+plan skipped per hit | {} |", fmt_ns(overhead_ns));
+    println!("| cache hits observed | {hits} |");
+
+    // ------------------------------------------------------------------
+    // Parallel partitioned scan.
+    // ------------------------------------------------------------------
+    let par_n = if quick { 2_000 } else { 10_000 };
+    let db = staff_db(par_n, 10, 42);
+    let q = sel("select e from employee e where sometime(e.salary > 4800)");
+    check_select(db.schema(), &q).unwrap();
+    let plan = plan_select(&q);
+    let serial_opts = ExecOptions { parallel: false, partitions: None };
+    let (rs, _) = execute_plan(&db, &plan, &serial_opts).unwrap();
+    let (rp, stats) = execute_plan(&db, &plan, &ExecOptions::default()).unwrap();
+    assert_eq!(rs.rows, rp.rows, "parallel scan must preserve row order");
+    let reps = if quick { 5 } else { 3 };
+    let serial_ns = time_ns(reps, || execute_plan(&db, &plan, &serial_opts).unwrap());
+    let parallel_ns = time_ns(reps, || execute_plan(&db, &plan, &ExecOptions::default()).unwrap());
+    println!("\n## Parallel partitioned scan ({par_n} objects, SOMETIME filter)\n");
+    println!("| mode | time | partitions |");
+    println!("|---|---|---|");
+    println!("| serial | {} | 1 |", fmt_ns(serial_ns));
+    println!("| parallel | {} | {} |", fmt_ns(parallel_ns), stats.partitions);
+
+    // ------------------------------------------------------------------
+    // Machine-readable output (hand-rolled JSON; no serde in the tree).
+    // ------------------------------------------------------------------
+    let mut json = String::from("{\n  \"join\": [\n");
+    for (k, r) in join_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"naive_ns\": {:.0}, \"planner_ns\": {:.0}, \"speedup\": {:.2}, \"naive_bindings\": {}, \"planner_bindings\": {}, \"bindings_ratio\": {:.1}}}{}\n",
+            r.n,
+            r.naive_ns,
+            r.plan_ns,
+            r.naive_ns / r.plan_ns,
+            r.naive_bindings,
+            r.plan_bindings,
+            r.naive_bindings as f64 / r.plan_bindings.max(1) as f64,
+            if k + 1 < join_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"limit\": {{\"n\": {limit_n}, \"naive_ns\": {limit_naive_ns:.0}, \"planner_ns\": {limit_plan_ns:.0}, \"naive_bindings\": {limit_naive_bindings}, \"planner_bindings\": {limit_plan_bindings}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{\"warm_ns\": {warm_ns:.0}, \"typecheck_plan_ns\": {overhead_ns:.0}, \"hits\": {hits}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"parallel\": {{\"n\": {par_n}, \"serial_ns\": {serial_ns:.0}, \"parallel_ns\": {parallel_ns:.0}, \"partitions\": {}}}\n",
+        stats.partitions
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("\nwrote BENCH_query.json");
+}

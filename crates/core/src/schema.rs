@@ -2,6 +2,7 @@
 //! (Sections 4 and 6).
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tchimera_temporal::{Instant, Lifespan, TemporalValue};
 
@@ -28,6 +29,17 @@ use crate::value::Value;
 pub struct Schema {
     pub(crate) classes: BTreeMap<ClassId, Class>,
     pub(crate) next_hierarchy: u32,
+    pub(crate) generation: u64,
+}
+
+/// Process-global source of schema generation stamps. Global (rather than
+/// per-schema) so that two *different* schemas can never share a non-zero
+/// stamp: a cached query plan keyed on `(query, generation)` stays valid
+/// exactly as long as the schema it was planned against is unchanged.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Schema {
@@ -228,6 +240,7 @@ impl Schema {
             ext: Membership::default(),
             proper_ext: Membership::default(),
         };
+        self.generation = next_generation();
         Ok(self.classes.entry(name).or_insert(class))
     }
 
@@ -280,7 +293,17 @@ impl Schema {
             .lifespan
             .terminated_at(at)
             .ok_or(ModelError::NotInLifespan { at })?;
+        self.generation = next_generation();
         Ok(())
+    }
+
+    /// The schema's mutation stamp: assigned a process-globally fresh
+    /// value on every class definition, class drop, or state import.
+    /// Plan caches compare stamps to decide whether a cached plan is
+    /// still valid (only an unchanged schema repeats a stamp).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Class lookup.

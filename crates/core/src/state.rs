@@ -316,6 +316,7 @@ impl Database {
             schema: Schema {
                 classes,
                 next_hierarchy: state.next_hierarchy,
+                generation: crate::schema::next_generation(),
             },
             objects,
             clock: state.clock,

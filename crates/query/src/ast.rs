@@ -243,6 +243,9 @@ pub enum Stmt {
     AdvanceTo(u64),
     /// A query.
     Select(Select),
+    /// `EXPLAIN SELECT …` — run the query and report the chosen plan
+    /// with per-stage cardinalities instead of the rows.
+    Explain(Select),
     /// `SHOW CLASS name`
     ShowClass(ClassId),
     /// `COMPARE #a #b` — report the strongest equality notion holding

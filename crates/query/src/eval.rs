@@ -84,6 +84,11 @@ pub const QUERY_METRICS: &[&str] = &[
     "query.eval.bindings",
     "query.eval.during",
     "query.eval.rows",
+    "query.plan.pushdowns",
+    "query.plan.hash_joins",
+    "query.plan.partitions",
+    "query.plan.cache.hit",
+    "query.plan.cache.miss",
 ];
 
 /// Register every query metric (at zero) so snapshots always carry the
@@ -96,13 +101,23 @@ pub fn touch_metrics() {
         r.counter("query.eval.bindings");
         r.counter("query.eval.during");
         r.counter("query.eval.rows");
+        r.counter("query.plan.pushdowns");
+        r.counter("query.plan.hash_joins");
+        r.counter("query.plan.partitions");
+        r.counter("query.plan.cache.hit");
+        r.counter("query.plan.cache.miss");
     });
 }
 
-/// Execute a type-checked `SELECT` against the database.
+/// Execute a type-checked `SELECT` against the database through the query
+/// planner (`crate::plan` / `crate::exec`).
 ///
 /// Multiple range variables form a cross product filtered by `WHERE`
 /// (the join idiom: `… from employee e, manager m where e.boss = m`).
+/// The planner pushes single-variable conjuncts down as per-variable
+/// prefilters, turns two-variable equality conjuncts into hash joins and
+/// evaluates only the surviving residual per binding — but the produced
+/// rows are identical (including order) to [`eval_select_naive`].
 ///
 /// Temporal scope semantics:
 ///
@@ -116,9 +131,21 @@ pub fn touch_metrics() {
 ///   restricted to the window.
 ///
 /// The whole evaluation runs under a `query.eval` span; the
-/// `query.eval.bindings` / `query.eval.rows` counters tally cross-product
+/// `query.eval.bindings` / `query.eval.rows` counters tally per-stage
 /// work and result size (`DESIGN.md` §9).
 pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> {
+    let plan = crate::plan::plan_select(q);
+    crate::exec::execute_plan(db, &plan, &crate::exec::ExecOptions::default())
+        .map(|(result, _stats)| result)
+}
+
+/// The reference evaluator: an odometer over the full cross product of
+/// candidate extents, re-evaluating the whole `WHERE` per binding.
+///
+/// [`eval_select`] (the planner) must produce exactly the same rows in the
+/// same order; the property tests in `tests/planner_props.rs` enforce
+/// this. Kept public so benchmarks can measure the planner against it.
+pub fn eval_select_naive(db: &Database, q: &Select) -> Result<QueryResult, EvalError> {
     touch_metrics();
     let _span = tchimera_obs::span!("query.eval", vars = q.vars.len());
     if matches!(q.time, TimeSpec::During(..)) {
@@ -171,13 +198,19 @@ pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> 
     // Tallied locally, published once: the odometer loop stays free of
     // atomics.
     let mut bindings_examined = 0u64;
+    // One binding, reused: only the oid slots change per step (var name
+    // strings are never re-cloned).
+    let mut binding: Binding = candidates
+        .iter()
+        .map(|(v, oids)| (v.clone(), oids[0]))
+        .collect();
     'product: loop {
         bindings_examined += 1;
-        let binding: Binding = candidates
-            .iter()
-            .zip(idx.iter())
-            .map(|((v, oids), &k)| (v.clone(), oids[k]))
-            .collect();
+        for (slot, ((_, oids), &k)) in
+            binding.iter_mut().zip(candidates.iter().zip(idx.iter()))
+        {
+            slot.1 = oids[k];
+        }
 
         // Filter.
         let pass = match &q.filter {
@@ -242,9 +275,13 @@ pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> 
         result.rows.push(vec![Value::Int(count)]);
     }
     if let Some(order) = &q.order {
-        keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+        // A reversed comparator, not sort-then-reverse: the sort is stable,
+        // so rows with equal keys keep their enumeration order in both
+        // directions (reversing after sorting would flip the ties too).
         if order.desc {
-            keyed.reverse();
+            keyed.sort_by(|(a, _), (b, _)| b.cmp(a));
+        } else {
+            keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
         }
         result.rows.extend(keyed.into_iter().map(|(_, row)| row));
     }
@@ -256,7 +293,7 @@ pub fn eval_select(db: &Database, q: &Select) -> Result<QueryResult, EvalError> 
     Ok(result)
 }
 
-fn projection_name(p: &Projection, var: &str) -> String {
+pub(crate) fn projection_name(p: &Projection, var: &str) -> String {
     match p {
         Projection::Var => var.to_owned(),
         Projection::Attr(a) => format!("{var}.{a}"),
@@ -268,7 +305,7 @@ fn projection_name(p: &Projection, var: &str) -> String {
     }
 }
 
-fn eval_projection(
+pub(crate) fn eval_projection(
     db: &Database,
     oid: Oid,
     p: &Projection,
@@ -397,14 +434,26 @@ fn quantifier_scope(
     t: Instant,
     now: Instant,
 ) -> Result<Interval, EvalError> {
+    let oids: Vec<Oid> = binding.iter().map(|(_, o)| *o).collect();
+    quantifier_scope_oids(db, &oids, t, now)
+}
+
+/// [`quantifier_scope`] over a plain oid slice (the planner's compiled
+/// bindings carry no variable names).
+pub(crate) fn quantifier_scope_oids(
+    db: &Database,
+    oids: &[Oid],
+    t: Instant,
+    now: Instant,
+) -> Result<Interval, EvalError> {
     let mut scope = Interval::new(Instant::ZERO, t);
-    for (_, oid) in binding {
+    for oid in oids {
         scope = scope.intersect(db.object(*oid)?.lifespan.resolve(now));
     }
     Ok(scope)
 }
 
-fn as_bool(v: Value) -> Result<bool, EvalError> {
+pub(crate) fn as_bool(v: Value) -> Result<bool, EvalError> {
     match v {
         Value::Bool(b) => Ok(b),
         Value::Null => Ok(false),
@@ -414,7 +463,7 @@ fn as_bool(v: Value) -> Result<bool, EvalError> {
 
 /// Three-valued-light comparison: `null = null` holds, `null` is never
 /// ordered, values of different kinds are unequal and unordered.
-fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
+pub(crate) fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
     use std::cmp::Ordering;
     match op {
         CmpOp::Eq => a == b,
@@ -443,13 +492,24 @@ fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
 /// attributes and class history. Expressions are piecewise-constant
 /// between event points, so quantified evaluation needs only these.
 fn event_points(db: &Database, binding: &Binding, scope: Interval, now: Instant) -> Vec<Instant> {
+    let oids: Vec<Oid> = binding.iter().map(|(_, o)| *o).collect();
+    event_points_oids(db, &oids, scope, now)
+}
+
+/// [`event_points`] over a plain oid slice.
+pub(crate) fn event_points_oids(
+    db: &Database,
+    oids: &[Oid],
+    scope: Interval,
+    now: Instant,
+) -> Vec<Instant> {
     let mut points = Vec::new();
     let (Some(lo), Some(hi)) = (scope.lo(), scope.hi()) else {
         return points;
     };
     points.push(lo);
     points.push(hi);
-    for (_, oid) in binding {
+    for oid in oids {
         if let Ok(o) = db.object(*oid) {
             let mut add = |t: Instant| {
                 if scope.contains(t) {
@@ -806,5 +866,33 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(crate::typecheck::check_select(db.schema(), &q).is_err());
+    }
+
+    #[test]
+    fn order_by_desc_keeps_tie_enumeration_order() {
+        let mut db = Database::new();
+        db.define_class(ClassDef::new("t").attr("k", Type::INTEGER)).unwrap();
+        db.advance_to(Instant(1)).unwrap();
+        for k in [2i64, 1, 2, 1, 2] {
+            db.create_object(&ClassId::from("t"), attrs([("k", Value::Int(k))]))
+                .unwrap();
+        }
+        db.tick();
+        // DESC must order by key only: rows with equal keys keep their
+        // ascending enumeration (oid) order — the old sort-then-reverse
+        // flipped the ties too.
+        let expect = |oids: [u64; 5]| -> Vec<Vec<Value>> {
+            oids.iter().map(|&o| vec![Value::Oid(Oid(o))]).collect()
+        };
+        let r = run(&db, "select x from t x order by x.k desc");
+        assert_eq!(r.rows, expect([0, 2, 4, 1, 3]));
+        let r = run(&db, "select x from t x order by x.k");
+        assert_eq!(r.rows, expect([1, 3, 0, 2, 4]));
+        // The reference evaluator agrees.
+        let q = match parse("select x from t x order by x.k desc").unwrap() {
+            crate::ast::Stmt::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert_eq!(eval_select_naive(&db, &q).unwrap().rows, expect([0, 2, 4, 1, 3]));
     }
 }

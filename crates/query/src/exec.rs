@@ -1,0 +1,926 @@
+//! The plan executor: runs a [`crate::plan::PlannedQuery`]
+//! against a database, producing exactly the rows (and row order) of the
+//! reference evaluator [`crate::eval::eval_select_naive`].
+//!
+//! Execution pipeline:
+//!
+//! 1. fetch each variable's candidate extent (via the extent indexes);
+//! 2. apply pushed-down prefilters per variable;
+//! 3. order variables by (post-prefilter) candidate-set size, preferring
+//!    variables hash-joinable to already-placed ones;
+//! 4. build bindings level by level — hash join where an equality
+//!    conjunct links the new variable to a placed one, nested loop
+//!    otherwise — applying each residual conjunct at the earliest level
+//!    where all its variables are bound;
+//! 5. project surviving bindings, then restore the reference evaluator's
+//!    enumeration order (each binding carries its candidate-position
+//!    tuple in declaration order — its "naive key").
+//!
+//! The outermost level is partitioned and, with the default-on `rayon`
+//! feature, partitions run in parallel; partitions are contiguous slices
+//! of the (ordered) base candidates, so concatenating their outputs
+//! preserves serial row order exactly.
+//!
+//! `LIMIT` without `ORDER BY` stops enumerating once `limit` bindings
+//! survive (per partition); `ORDER BY … LIMIT k` keeps a bounded top-k
+//! buffer instead of sorting every row.
+//!
+//! Error-surface caveat: the planner evaluates conjuncts in a different
+//! order than the reference evaluator's left-to-right `AND`, so a query
+//! whose filter *errors* (e.g. reading a static attribute dropped by a
+//! migration) can surface the error from a different binding, or error
+//! where short-circuiting would have hidden it. Queries over total
+//! predicates — everything the typechecker can see — are exactly
+//! equivalent.
+
+use std::collections::HashMap;
+
+use tchimera_core::{
+    AttrName, ClassId, Database, Instant, Interval, Oid, Value,
+};
+
+#[cfg(feature = "rayon")]
+use rayon::prelude::*;
+
+use crate::ast::{CmpOp, Expr, TimeSpec};
+use crate::eval::{
+    as_bool, compare, eval_projection, event_points_oids, projection_name,
+    quantifier_scope_oids, EvalError, QueryResult,
+};
+use crate::plan::PlannedQuery;
+
+/// A compiled expression: [`Expr`] with variable names interned to
+/// declaration indices, resolved once at plan time. Evaluation binds
+/// variables through a plain `&[Oid]` slot slice — no per-binding string
+/// comparisons or clones on the hot path.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CExpr {
+    /// A literal, lowered to a [`Value`] at compile time.
+    Lit(Value),
+    /// A range variable (by index) — evaluates to the bound oid.
+    Var(usize),
+    /// `var.attr` at the evaluation instant.
+    Attr(usize, AttrName),
+    /// `var.attr AT t`.
+    AttrAt(usize, AttrName, u64),
+    /// `DEFINED(e)`.
+    Defined(Box<CExpr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<CExpr>, Box<CExpr>),
+    /// Conjunction (short-circuiting).
+    And(Box<CExpr>, Box<CExpr>),
+    /// Disjunction (short-circuiting).
+    Or(Box<CExpr>, Box<CExpr>),
+    /// Negation.
+    Not(Box<CExpr>),
+    /// `var IN class`.
+    IsMember(usize, ClassId),
+    /// `ALWAYS(e)` over the bound objects' common lifespan.
+    Always(Box<CExpr>),
+    /// `SOMETIME(e)` over that lifespan.
+    Sometime(Box<CExpr>),
+}
+
+impl CExpr {
+    /// Compile an [`Expr`], interning variable names against `vars`
+    /// (the query's range variables in declaration order).
+    #[must_use]
+    pub fn compile(e: &Expr, vars: &[String]) -> CExpr {
+        let idx = |v: &str| -> usize {
+            vars.iter().position(|n| n == v).expect("validated by the parser")
+        };
+        match e {
+            Expr::Lit(l) => CExpr::Lit(l.to_value()),
+            Expr::Var(v) => CExpr::Var(idx(v)),
+            Expr::Attr(v, a) => CExpr::Attr(idx(v), a.clone()),
+            Expr::AttrAt(v, a, t) => CExpr::AttrAt(idx(v), a.clone(), *t),
+            Expr::Defined(i) => CExpr::Defined(Box::new(CExpr::compile(i, vars))),
+            Expr::Cmp(op, l, r) => CExpr::Cmp(
+                *op,
+                Box::new(CExpr::compile(l, vars)),
+                Box::new(CExpr::compile(r, vars)),
+            ),
+            Expr::And(l, r) => CExpr::And(
+                Box::new(CExpr::compile(l, vars)),
+                Box::new(CExpr::compile(r, vars)),
+            ),
+            Expr::Or(l, r) => CExpr::Or(
+                Box::new(CExpr::compile(l, vars)),
+                Box::new(CExpr::compile(r, vars)),
+            ),
+            Expr::Not(i) => CExpr::Not(Box::new(CExpr::compile(i, vars))),
+            Expr::IsMember(v, c) => CExpr::IsMember(idx(v), c.clone()),
+            Expr::Always(i) => CExpr::Always(Box::new(CExpr::compile(i, vars))),
+            Expr::Sometime(i) => CExpr::Sometime(Box::new(CExpr::compile(i, vars))),
+        }
+    }
+}
+
+/// Evaluate a compiled expression: `oids[i]` is the object bound to
+/// variable `i` (only slots of variables the expression mentions are
+/// read, except quantifiers, which scope over the full binding).
+pub(crate) fn eval_cexpr(
+    db: &Database,
+    oids: &[Oid],
+    t: Instant,
+    now: Instant,
+    e: &CExpr,
+) -> Result<Value, EvalError> {
+    Ok(match e {
+        CExpr::Lit(v) => v.clone(),
+        CExpr::Var(i) => Value::Oid(oids[*i]),
+        CExpr::Attr(i, a) => db.attr_at(oids[*i], a, t)?,
+        CExpr::AttrAt(i, a, at) => db.attr_at(oids[*i], a, Instant(*at))?,
+        CExpr::Defined(inner) => {
+            let v = eval_cexpr(db, oids, t, now, inner)?;
+            Value::Bool(!v.is_null())
+        }
+        CExpr::Cmp(op, l, r) => {
+            let lv = eval_cexpr(db, oids, t, now, l)?;
+            let rv = eval_cexpr(db, oids, t, now, r)?;
+            Value::Bool(compare(*op, &lv, &rv))
+        }
+        CExpr::And(l, r) => {
+            let lv = as_bool(eval_cexpr(db, oids, t, now, l)?)?;
+            if !lv {
+                Value::Bool(false)
+            } else {
+                Value::Bool(as_bool(eval_cexpr(db, oids, t, now, r)?)?)
+            }
+        }
+        CExpr::Or(l, r) => {
+            let lv = as_bool(eval_cexpr(db, oids, t, now, l)?)?;
+            if lv {
+                Value::Bool(true)
+            } else {
+                Value::Bool(as_bool(eval_cexpr(db, oids, t, now, r)?)?)
+            }
+        }
+        CExpr::Not(inner) => Value::Bool(!as_bool(eval_cexpr(db, oids, t, now, inner)?)?),
+        CExpr::IsMember(i, c) => {
+            let member = db
+                .schema()
+                .class(c)
+                .map(|cl| cl.membership_of(oids[*i], now).contains(t))
+                .unwrap_or(false);
+            Value::Bool(member)
+        }
+        CExpr::Always(inner) => {
+            let scope = quantifier_scope_oids(db, oids, t, now)?;
+            let ok = event_points_oids(db, oids, scope, now)
+                .into_iter()
+                .try_fold(true, |acc, tp| {
+                    Ok::<bool, EvalError>(
+                        acc && as_bool(eval_cexpr(db, oids, tp, now, inner)?)?,
+                    )
+                })?;
+            Value::Bool(ok)
+        }
+        CExpr::Sometime(inner) => {
+            let scope = quantifier_scope_oids(db, oids, t, now)?;
+            let mut ok = false;
+            for tp in event_points_oids(db, oids, scope, now) {
+                if as_bool(eval_cexpr(db, oids, tp, now, inner)?)? {
+                    ok = true;
+                    break;
+                }
+            }
+            Value::Bool(ok)
+        }
+    })
+}
+
+/// Execution knobs. [`Default`] enables parallel partitioned scans when
+/// the crate's `rayon` feature is on and picks a partition count from the
+/// machine; tests override `partitions` to exercise boundaries
+/// deterministically (the row order is identical either way).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Run partitions in parallel (no-op without the `rayon` feature).
+    pub parallel: bool,
+    /// Fixed partition count for the outermost variable (`None` = auto).
+    pub partitions: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallel: cfg!(feature = "rayon"), partitions: None }
+    }
+}
+
+/// Per-variable cardinalities for `EXPLAIN`.
+#[derive(Clone, Debug)]
+pub struct VarStats {
+    /// Variable name.
+    pub var: String,
+    /// Class it ranges over.
+    pub class: String,
+    /// Raw extent size.
+    pub extent: usize,
+    /// Number of pushed-down conjuncts.
+    pub pushed: usize,
+    /// Candidates surviving the prefilters.
+    pub after: usize,
+}
+
+/// Per-level (variable placement) execution counts for `EXPLAIN`.
+#[derive(Clone, Debug)]
+pub struct LevelStats {
+    /// Variable (declaration index) placed at this level.
+    pub var: usize,
+    /// `true` when the level probed a hash table.
+    pub hash: bool,
+    /// `true` for the outermost (scan) level.
+    pub first: bool,
+    /// Number of filter checks applied at this level.
+    pub checks: usize,
+    /// Candidate bindings examined.
+    pub examined: u64,
+    /// Bindings surviving the level.
+    pub out: u64,
+}
+
+/// What the executor actually did — the substance of `EXPLAIN`.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Per-variable candidate statistics (declaration order).
+    pub vars: Vec<VarStats>,
+    /// Chosen variable order (declaration indices).
+    pub order: Vec<usize>,
+    /// Per-level counts, in placement order.
+    pub levels: Vec<LevelStats>,
+    /// Partition count used for the outermost level.
+    pub partitions: usize,
+    /// Result rows produced.
+    pub rows: usize,
+    /// Total candidate bindings examined across all levels.
+    pub bindings: u64,
+    /// Size of the full cross product the reference evaluator would
+    /// enumerate.
+    pub naive_bindings: u128,
+}
+
+/// A candidate object together with its position in the raw extent — the
+/// position tuple (in declaration order) is the binding's "naive key",
+/// used to restore the reference evaluator's enumeration order.
+#[derive(Clone, Copy, Debug)]
+struct Cand {
+    oid: Oid,
+    pos: u32,
+}
+
+/// One level of the binding pipeline: place `var`, probe `hash` (a join
+/// index) if available, then apply `checks`.
+struct Level {
+    var: usize,
+    hash: Option<usize>,
+    checks: Vec<Check>,
+}
+
+#[derive(Clone, Copy)]
+enum Check {
+    Join(usize),
+    Resid(usize),
+}
+
+/// A produced row before final ordering: the projected values, the
+/// optional `ORDER BY` key and the naive-order key.
+struct RowOut {
+    key: Vec<u32>,
+    oval: Option<Value>,
+    row: Vec<Value>,
+}
+
+/// Per-partition output.
+struct PartOut {
+    rows: Vec<RowOut>,
+    count: i64,
+    levels: Vec<(u64, u64)>,
+}
+
+/// Flat storage for partial bindings: `n` oid slots and `n` naive-key
+/// slots per row (copies, not per-binding allocations).
+struct Partials {
+    n: usize,
+    oids: Vec<Oid>,
+    keys: Vec<u32>,
+}
+
+impl Partials {
+    fn new(n: usize) -> Partials {
+        Partials { n, oids: Vec::new(), keys: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.oids.len().checked_div(self.n).unwrap_or(0)
+    }
+
+    fn push(&mut self, oids: &[Oid], keys: &[u32]) {
+        self.oids.extend_from_slice(oids);
+        self.keys.extend_from_slice(keys);
+    }
+
+    fn row(&self, r: usize) -> (&[Oid], &[u32]) {
+        let s = r * self.n;
+        (&self.oids[s..s + self.n], &self.keys[s..s + self.n])
+    }
+}
+
+/// Pick the variable placement order: smallest candidate set first,
+/// preferring variables joined (by an extracted equality) to an already
+/// placed one; ties break toward declaration order.
+fn choose_order(n: usize, sizes: &[usize], joins: &[crate::plan::JoinPred]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for _ in 0..n {
+        let connected = |v: usize| {
+            joins.iter().any(|j| {
+                (j.left == v && placed[j.right]) || (j.right == v && placed[j.left])
+            })
+        };
+        let any_connected =
+            !order.is_empty() && (0..n).any(|v| !placed[v] && connected(v));
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if placed[v] || (any_connected && !connected(v)) {
+                continue;
+            }
+            if best.map_or(true, |b| sizes[v] < sizes[b]) {
+                best = Some(v);
+            }
+        }
+        let v = best.expect("some variable remains");
+        placed[v] = true;
+        order.push(v);
+    }
+    order
+}
+
+/// Assign each join predicate and residual conjunct to the earliest level
+/// where all its variables are bound. The first equality closing at a
+/// level whose endpoint is the level's variable becomes its hash probe;
+/// further equalities and residuals become plain checks, applied in
+/// source order.
+fn build_levels(plan: &PlannedQuery, order: &[usize]) -> Vec<Level> {
+    let mut placed = vec![false; plan.n];
+    let mut join_used = vec![false; plan.joins.len()];
+    let mut resid_used = vec![false; plan.residual.len()];
+    let mut levels = Vec::with_capacity(order.len());
+    for (li, &v) in order.iter().enumerate() {
+        placed[v] = true;
+        let mut hash = None;
+        let mut checks: Vec<(usize, Check)> = Vec::new();
+        if !plan.during {
+            for (ji, j) in plan.joins.iter().enumerate() {
+                if !join_used[ji] && placed[j.left] && placed[j.right] {
+                    join_used[ji] = true;
+                    if li > 0 && hash.is_none() && (j.left == v || j.right == v) {
+                        hash = Some(ji);
+                    } else {
+                        checks.push((j.pos, Check::Join(ji)));
+                    }
+                }
+            }
+            for (ri, r) in plan.residual.iter().enumerate() {
+                if !resid_used[ri] && r.vars.iter().all(|&u| placed[u]) {
+                    resid_used[ri] = true;
+                    checks.push((r.pos, Check::Resid(ri)));
+                }
+            }
+        }
+        checks.sort_by_key(|(pos, _)| *pos);
+        levels.push(Level {
+            var: v,
+            hash,
+            checks: checks.into_iter().map(|(_, c)| c).collect(),
+        });
+    }
+    levels
+}
+
+/// Everything a partition worker needs, immutable and `Sync`.
+struct ExecCtx<'a> {
+    db: &'a Database,
+    plan: &'a PlannedQuery,
+    window: Interval,
+    now: Instant,
+    /// Filter-evaluation instant for point-scope queries.
+    t0: Instant,
+    cands: &'a [Vec<Cand>],
+    levels: &'a [Level],
+    maps: &'a [Option<HashMap<Value, Vec<u32>>>],
+    /// All candidate indices per level (nested-loop iteration space).
+    all_indices: &'a [Vec<u32>],
+    /// Cap on surviving bindings (LIMIT without ORDER BY, order-preserving
+    /// placements only).
+    cap_scan: Option<usize>,
+    /// Bounded top-k buffer size (ORDER BY + LIMIT).
+    topk: Option<usize>,
+}
+
+impl ExecCtx<'_> {
+    /// Does a freshly extended binding survive this level's checks?
+    fn passes(&self, li: usize, oids: &[Oid]) -> Result<bool, EvalError> {
+        let last = li + 1 == self.levels.len();
+        if self.plan.during {
+            // Joint existential re-check of the whole filter: pushdown
+            // under DURING is only a necessary condition.
+            if last {
+                if let Some(f) = &self.plan.full_filter {
+                    let pass = event_points_oids(self.db, oids, self.window, self.now)
+                        .into_iter()
+                        .any(|t| {
+                            eval_cexpr(self.db, oids, t, self.now, f)
+                                .map(|v| v == Value::Bool(true))
+                                .unwrap_or(false)
+                        });
+                    return Ok(pass);
+                }
+            }
+            return Ok(true);
+        }
+        for ch in &self.levels[li].checks {
+            let e = match ch {
+                Check::Join(j) => &self.plan.joins[*j].whole,
+                Check::Resid(r) => &self.plan.residual[*r].expr,
+            };
+            if eval_cexpr(self.db, oids, self.t0, self.now, e)? != Value::Bool(true) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Run the whole pipeline over `[lo, hi)` of the base level's
+    /// candidates. Partitions are contiguous, so per-partition outputs
+    /// concatenate into the serial order.
+    fn process(&self, lo: usize, hi: usize) -> Result<PartOut, EvalError> {
+        let plan = self.plan;
+        let n = plan.n;
+        let nlevels = self.levels.len();
+        let mut out = PartOut {
+            rows: Vec::new(),
+            count: 0,
+            levels: vec![(0, 0); nlevels],
+        };
+        let mut obuf = vec![Oid(0); n];
+        let mut kbuf = vec![0u32; n];
+
+        // Level 0: scan the base partition.
+        let base = &self.levels[0];
+        let mut partials = Partials::new(n);
+        for cand in &self.cands[base.var][lo..hi] {
+            out.levels[0].0 += 1;
+            obuf[base.var] = cand.oid;
+            kbuf[base.var] = cand.pos;
+            if self.passes(0, &obuf)? {
+                partials.push(&obuf, &kbuf);
+                out.levels[0].1 += 1;
+                if nlevels == 1 && self.cap_scan.is_some_and(|k| partials.len() >= k) {
+                    break;
+                }
+            }
+        }
+
+        // Deeper levels: hash probe or nested loop.
+        for li in 1..nlevels {
+            let lvl = &self.levels[li];
+            let last = li + 1 == nlevels;
+            let cnds = &self.cands[lvl.var];
+            let mut next = Partials::new(n);
+            'rows: for r in 0..partials.len() {
+                let (po, pk) = partials.row(r);
+                obuf.copy_from_slice(po);
+                kbuf.copy_from_slice(pk);
+                let bucket: &[u32] = match lvl.hash {
+                    Some(ji) => {
+                        let j = &plan.joins[ji];
+                        let probe = if j.left == lvl.var { &j.right_key } else { &j.left_key };
+                        let key = eval_cexpr(self.db, &obuf, self.t0, self.now, probe)?;
+                        self.maps[li]
+                            .as_ref()
+                            .and_then(|m| m.get(&key))
+                            .map_or(&[], Vec::as_slice)
+                    }
+                    None => &self.all_indices[li],
+                };
+                for &ci in bucket {
+                    out.levels[li].0 += 1;
+                    let cand = cnds[ci as usize];
+                    obuf[lvl.var] = cand.oid;
+                    kbuf[lvl.var] = cand.pos;
+                    if self.passes(li, &obuf)? {
+                        next.push(&obuf, &kbuf);
+                        out.levels[li].1 += 1;
+                        if last && self.cap_scan.is_some_and(|k| next.len() >= k) {
+                            break 'rows;
+                        }
+                    }
+                }
+            }
+            partials = next;
+        }
+
+        // Produce rows (or just count).
+        if plan.counting {
+            out.count = partials.len() as i64;
+            return Ok(out);
+        }
+        if partials.len() == 0 {
+            return Ok(out);
+        }
+        let t_eval = self.window.hi().expect("non-empty window");
+        let q = &plan.q;
+        for r in 0..partials.len() {
+            let (oids, keys) = partials.row(r);
+            let mut row = Vec::with_capacity(q.projections.len());
+            for ((_, p), &vi) in q.projections.iter().zip(&plan.proj_vars) {
+                row.push(eval_projection(self.db, oids[vi], p, t_eval, self.window, q)?);
+            }
+            let oval = match &plan.order_key {
+                Some((e, _)) => Some(eval_cexpr(self.db, oids, t_eval, self.now, e)?),
+                None => None,
+            };
+            out.rows.push(RowOut { key: keys.to_vec(), oval, row });
+            if let Some(k) = self.topk {
+                // Bounded top-k: compact once the buffer doubles.
+                if out.rows.len() >= (2 * k).max(64) {
+                    sort_rows(&mut out.rows, plan);
+                    out.rows.truncate(k);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Sort rows by the `ORDER BY` value (respecting direction), tie-broken
+/// by naive enumeration order — exactly the reference evaluator's stable
+/// sort over naive-ordered input.
+fn sort_rows(rows: &mut [RowOut], plan: &PlannedQuery) {
+    let desc = plan.order_key.as_ref().map(|(_, d)| *d).unwrap_or(false);
+    rows.sort_by(|a, b| {
+        let o = if desc {
+            b.oval.cmp(&a.oval)
+        } else {
+            a.oval.cmp(&b.oval)
+        };
+        o.then_with(|| a.key.cmp(&b.key))
+    });
+}
+
+/// Execute a planned query. Returns the result table (row-identical to
+/// [`crate::eval::eval_select_naive`]) and the execution statistics that
+/// back `EXPLAIN`.
+pub fn execute_plan(
+    db: &Database,
+    plan: &PlannedQuery,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, ExecStats), EvalError> {
+    crate::eval::touch_metrics();
+    let q = &plan.q;
+    let n = plan.n;
+    let _span = tchimera_obs::span!("query.eval", vars = n);
+    if plan.during {
+        tchimera_obs::counter!("query.eval.during").inc();
+    }
+    let now = db.now();
+    let window: Interval = match q.time {
+        TimeSpec::Now => Interval::point(now),
+        TimeSpec::AsOf(t) => Interval::point(Instant(t)),
+        TimeSpec::During(a, b) => Interval::new(Instant(a), Instant(b).min(now)),
+    };
+    let t0 = window.lo().unwrap_or(Instant::ZERO);
+
+    let mut result = QueryResult {
+        columns: q
+            .projections
+            .iter()
+            .map(|(v, p)| projection_name(p, v))
+            .collect(),
+        rows: Vec::new(),
+    };
+    let mut stats = ExecStats::default();
+
+    // Raw extents per variable.
+    let mut raw: Vec<Vec<Oid>> = Vec::with_capacity(n);
+    for (i, (class_id, var)) in q.vars.iter().enumerate() {
+        let class = db.schema().class(class_id)?;
+        let oids = match q.time {
+            TimeSpec::Now => class.ext_at(now, now),
+            TimeSpec::AsOf(t) => class.ext_at(Instant(t), now),
+            TimeSpec::During(a, b) => class.ext_during(Instant(a), Instant(b), now),
+        };
+        stats.vars.push(VarStats {
+            var: var.clone(),
+            class: class_id.as_str().to_owned(),
+            extent: oids.len(),
+            pushed: plan.prefilters[i].len(),
+            after: oids.len(),
+        });
+        raw.push(oids);
+    }
+    stats.naive_bindings = raw.iter().map(|r| r.len() as u128).product();
+
+    // Mirror the reference evaluator's early return on an empty extent
+    // (it skips filter evaluation and the work counters entirely).
+    if raw.iter().any(Vec::is_empty) {
+        if plan.counting {
+            result.rows.push(vec![Value::Int(0)]);
+        }
+        if let Some(limit) = q.limit {
+            result.rows.truncate(limit as usize);
+        }
+        stats.rows = result.rows.len();
+        return Ok((result, stats));
+    }
+
+    // Prefilter candidates (single-variable queries keep their conjuncts
+    // as source-ordered level checks instead — exact naive semantics).
+    let mut cands: Vec<Vec<Cand>> = Vec::with_capacity(n);
+    for (i, r) in raw.iter().enumerate() {
+        let filtered = prefilter_var(db, plan, i, r, window, now)?;
+        stats.vars[i].after = filtered.len();
+        cands.push(filtered);
+    }
+    if plan.pushdown_count() > 0 {
+        tchimera_obs::counter!("query.plan.pushdowns").add(plan.pushdown_count() as u64);
+    }
+
+    let sizes: Vec<usize> = cands.iter().map(Vec::len).collect();
+    let order = choose_order(n, &sizes, &plan.joins);
+    let needs_sort = order.iter().enumerate().any(|(i, &v)| i != v);
+    let levels = build_levels(plan, &order);
+    stats.order = order.clone();
+
+    // Hash tables, built once over each joined level's candidates.
+    let mut maps: Vec<Option<HashMap<Value, Vec<u32>>>> = Vec::with_capacity(levels.len());
+    let mut all_indices: Vec<Vec<u32>> = Vec::with_capacity(levels.len());
+    {
+        let mut buf = vec![Oid(0); n];
+        for lvl in &levels {
+            let map = match lvl.hash {
+                Some(ji) => {
+                    let j = &plan.joins[ji];
+                    let build = if j.left == lvl.var { &j.left_key } else { &j.right_key };
+                    let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
+                    for (ci, cand) in cands[lvl.var].iter().enumerate() {
+                        buf[lvl.var] = cand.oid;
+                        let key = eval_cexpr(db, &buf, t0, now, build)?;
+                        m.entry(key).or_default().push(ci as u32);
+                    }
+                    Some(m)
+                }
+                None => None,
+            };
+            all_indices.push(match map {
+                Some(_) => Vec::new(),
+                None => (0..cands[lvl.var].len() as u32).collect(),
+            });
+            maps.push(map);
+        }
+    }
+    let hash_levels = levels.iter().filter(|l| l.hash.is_some()).count();
+    if hash_levels > 0 {
+        tchimera_obs::counter!("query.plan.hash_joins").add(hash_levels as u64);
+    }
+
+    // Partition the base level.
+    let limit = q.limit.map(|l| l as usize);
+    let cap_scan = if !plan.counting && q.order.is_none() && !needs_sort {
+        limit
+    } else {
+        None
+    };
+    let topk = if q.order.is_some() { limit } else { None };
+    let base_len = cands[order[0]].len();
+    let par = opts.parallel && cfg!(feature = "rayon");
+    #[cfg(feature = "rayon")]
+    let threads = rayon::current_num_threads();
+    #[cfg(not(feature = "rayon"))]
+    let threads = 1;
+    let default_p = if par && threads > 1 && base_len >= 64 { threads } else { 1 };
+    let p = opts.partitions.unwrap_or(default_p).clamp(1, base_len.max(1));
+    let chunk = base_len.div_ceil(p);
+    let ranges: Vec<(usize, usize)> = (0..p)
+        .map(|i| (i * chunk, ((i + 1) * chunk).min(base_len)))
+        .collect();
+    stats.partitions = ranges.len();
+    if ranges.len() > 1 {
+        tchimera_obs::counter!("query.plan.partitions").add(ranges.len() as u64);
+    }
+
+    let ctx = ExecCtx {
+        db,
+        plan,
+        window,
+        now,
+        t0,
+        cands: &cands,
+        levels: &levels,
+        maps: &maps,
+        all_indices: &all_indices,
+        cap_scan,
+        topk,
+    };
+    #[cfg(feature = "rayon")]
+    let parts: Vec<Result<PartOut, EvalError>> = if par && ranges.len() > 1 {
+        ranges.par_iter().map(|&(lo, hi)| ctx.process(lo, hi)).collect()
+    } else {
+        ranges.iter().map(|&(lo, hi)| ctx.process(lo, hi)).collect()
+    };
+    #[cfg(not(feature = "rayon"))]
+    let parts: Vec<Result<PartOut, EvalError>> =
+        ranges.iter().map(|&(lo, hi)| ctx.process(lo, hi)).collect();
+
+    // Merge partitions in base order (order-preserving concatenation).
+    let mut all_rows: Vec<RowOut> = Vec::new();
+    let mut count_total = 0i64;
+    let mut level_sums = vec![(0u64, 0u64); levels.len()];
+    for part in parts {
+        let part = part?;
+        count_total += part.count;
+        for (s, l) in level_sums.iter_mut().zip(part.levels.iter()) {
+            s.0 += l.0;
+            s.1 += l.1;
+        }
+        all_rows.extend(part.rows);
+    }
+    stats.levels = levels
+        .iter()
+        .enumerate()
+        .map(|(li, l)| LevelStats {
+            var: l.var,
+            hash: l.hash.is_some(),
+            first: li == 0,
+            checks: l.checks.len(),
+            examined: level_sums[li].0,
+            out: level_sums[li].1,
+        })
+        .collect();
+    stats.bindings = level_sums.iter().map(|(e, _)| e).sum();
+
+    if plan.counting {
+        result.rows.push(vec![Value::Int(count_total)]);
+    } else {
+        if plan.order_key.is_some() {
+            sort_rows(&mut all_rows, plan);
+        } else if needs_sort {
+            all_rows.sort_by(|a, b| a.key.cmp(&b.key));
+        }
+        result.rows.extend(all_rows.into_iter().map(|r| r.row));
+    }
+    if let Some(limit) = limit {
+        result.rows.truncate(limit);
+    }
+
+    stats.rows = result.rows.len();
+    tchimera_obs::counter!("query.eval.bindings").add(stats.bindings);
+    tchimera_obs::counter!("query.eval.rows").add(result.rows.len() as u64);
+    Ok((result, stats))
+}
+
+/// Apply a variable's pushed-down conjuncts over its raw extent. Under a
+/// point scope each conjunct must hold at the scope instant (errors
+/// propagate); under `DURING` a candidate survives if every conjunct
+/// holds at *some* event point of that object alone — a necessary
+/// condition for the joint existential filter checked later.
+fn prefilter_var(
+    db: &Database,
+    plan: &PlannedQuery,
+    i: usize,
+    raw: &[Oid],
+    window: Interval,
+    now: Instant,
+) -> Result<Vec<Cand>, EvalError> {
+    let pres = &plan.prefilters[i];
+    if pres.is_empty() {
+        return Ok(raw
+            .iter()
+            .enumerate()
+            .map(|(pos, &oid)| Cand { oid, pos: pos as u32 })
+            .collect());
+    }
+    let mut out = Vec::new();
+    let mut buf = vec![Oid(0); plan.n];
+    for (pos, &oid) in raw.iter().enumerate() {
+        buf[i] = oid;
+        let keep = if plan.during {
+            let pts = event_points_oids(db, std::slice::from_ref(&oid), window, now);
+            pres.iter().all(|c| {
+                pts.iter().any(|&t| {
+                    eval_cexpr(db, &buf, t, now, c)
+                        .map(|v| v == Value::Bool(true))
+                        .unwrap_or(false)
+                })
+            })
+        } else {
+            let t = window.lo().expect("point window");
+            let mut keep = true;
+            for c in pres {
+                if eval_cexpr(db, &buf, t, now, c)? != Value::Bool(true) {
+                    keep = false;
+                    break;
+                }
+            }
+            keep
+        };
+        if keep {
+            out.push(Cand { oid, pos: pos as u32 });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stmt;
+    use crate::eval::eval_select_naive;
+    use crate::parser::parse;
+    use crate::plan::plan_select;
+    use tchimera_core::{attrs, ClassDef, ClassId, Type};
+
+    fn join_db() -> Database {
+        let mut db = Database::new();
+        db.define_class(ClassDef::new("a").attr("v", Type::INTEGER)).unwrap();
+        db.define_class(ClassDef::new("b").attr("v", Type::INTEGER)).unwrap();
+        db.advance_to(Instant(1)).unwrap();
+        for i in 0i64..12 {
+            db.create_object(&ClassId::from("a"), attrs([("v", Value::Int(i % 4))]))
+                .unwrap();
+            db.create_object(&ClassId::from("b"), attrs([("v", Value::Int(i % 6))]))
+                .unwrap();
+        }
+        db.tick_by(1);
+        db
+    }
+
+    fn sel(src: &str) -> crate::ast::Select {
+        match parse(src).unwrap() {
+            Stmt::Select(s) => s,
+            _ => unreachable!(),
+        }
+    }
+
+    fn serial(partitions: usize) -> ExecOptions {
+        ExecOptions { parallel: false, partitions: Some(partitions) }
+    }
+
+    #[test]
+    fn limit_without_order_stops_scanning_early() {
+        let db = join_db();
+        let q = sel("select x from a x limit 2");
+        let plan = plan_select(&q);
+        let (r, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows);
+        assert_eq!(r.len(), 2);
+        assert_eq!(stats.levels[0].examined, 2, "scan must stop at the limit");
+    }
+
+    #[test]
+    fn hash_join_examines_fewer_bindings_than_cross_product() {
+        let db = join_db();
+        let q = sel("select x, y from a x, b y where x.v = y.v");
+        let plan = plan_select(&q);
+        let (r, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows);
+        assert!(!r.rows.is_empty());
+        assert!(stats.levels[1].hash, "equality must probe a hash table");
+        assert!(
+            u128::from(stats.bindings) < stats.naive_bindings,
+            "{} bindings vs naive {}",
+            stats.bindings,
+            stats.naive_bindings
+        );
+    }
+
+    #[test]
+    fn partition_boundaries_preserve_row_order() {
+        let db = join_db();
+        for src in [
+            "select x, x.v from a x where x.v >= 1",
+            "select x, y from a x, b y where x.v = y.v and x.v > 0",
+            "select x from a x order by x.v desc limit 5",
+        ] {
+            let q = sel(src);
+            let plan = plan_select(&q);
+            let (one, _) = execute_plan(&db, &plan, &serial(1)).unwrap();
+            let (three, s3) = execute_plan(&db, &plan, &serial(3)).unwrap();
+            let (par, _) = execute_plan(&db, &plan, &ExecOptions::default()).unwrap();
+            assert_eq!(one.rows, three.rows, "{src}");
+            assert_eq!(one.rows, par.rows, "{src}");
+            assert_eq!(s3.partitions, 3, "{src}");
+        }
+    }
+
+    #[test]
+    fn order_by_limit_uses_bounded_topk() {
+        let db = join_db();
+        let q = sel("select x, x.v from a x order by x.v limit 3");
+        let plan = plan_select(&q);
+        let (r, _) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows);
+        assert_eq!(r.len(), 3);
+    }
+}

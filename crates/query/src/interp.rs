@@ -8,9 +8,11 @@ use tchimera_core::{
 };
 
 use crate::ast::{ConstraintSpec, Stmt};
-use crate::eval::{eval_select, EvalError, QueryResult};
+use crate::eval::{EvalError, QueryResult};
+use crate::exec::{execute_plan, ExecOptions};
 use crate::parser::{parse, parse_script, ParseError};
-use crate::typecheck::{check_select, TypeError};
+use crate::plan::{render_explain, PlanCache};
+use crate::typecheck::TypeError;
 
 /// Any error produced while running a TCQL statement.
 #[derive(Debug)]
@@ -70,6 +72,8 @@ pub enum Outcome {
     Time(Instant),
     /// Query rows.
     Table(QueryResult),
+    /// `EXPLAIN SELECT` report.
+    Explain(String),
     /// Class description (from `SHOW CLASS`).
     ClassInfo(String),
     /// `CHECK CONSISTENCY` report.
@@ -89,6 +93,7 @@ impl fmt::Display for Outcome {
             Outcome::Created(i) => write!(f, "created {i}"),
             Outcome::Time(t) => write!(f, "now = {t}"),
             Outcome::Table(t) => write!(f, "{t}"),
+            Outcome::Explain(s) => write!(f, "{s}"),
             Outcome::ClassInfo(s) => write!(f, "{s}"),
             Outcome::Consistency(r) => {
                 if r.is_consistent() {
@@ -133,6 +138,7 @@ impl fmt::Display for Outcome {
 #[derive(Default)]
 pub struct Interpreter {
     db: Database,
+    plans: PlanCache,
 }
 
 impl Interpreter {
@@ -145,7 +151,7 @@ impl Interpreter {
     /// Wrap an existing database.
     #[must_use]
     pub fn with_db(db: Database) -> Interpreter {
-        Interpreter { db }
+        Interpreter { db, plans: PlanCache::default() }
     }
 
     /// The underlying database.
@@ -217,8 +223,14 @@ impl Interpreter {
             Stmt::Tick(n) => Outcome::Time(self.db.tick_by(n)),
             Stmt::AdvanceTo(t) => Outcome::Time(self.db.advance_to(Instant(t))?),
             Stmt::Select(q) => {
-                check_select(self.db.schema(), &q)?;
-                Outcome::Table(eval_select(&self.db, &q)?)
+                let (plan, _hit) = self.plans.get_or_plan(self.db.schema(), &q)?;
+                let (table, _stats) = execute_plan(&self.db, &plan, &ExecOptions::default())?;
+                Outcome::Table(table)
+            }
+            Stmt::Explain(q) => {
+                let (plan, hit) = self.plans.get_or_plan(self.db.schema(), &q)?;
+                let (_table, stats) = execute_plan(&self.db, &plan, &ExecOptions::default())?;
+                Outcome::Explain(render_explain(&plan, &stats, hit))
             }
             Stmt::ShowClass(c) => {
                 let class = self.db.class(&c)?;
@@ -546,6 +558,63 @@ mod tests {
             .unwrap()
             .to_string();
         assert!(shown.contains("satisfied"));
+    }
+
+    #[test]
+    fn explain_reports_plan_and_cache_disposition() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class employee (salary: temporal(integer)); \
+                 advance to 10; \
+                 create employee (salary := 100); \
+                 create employee (salary := 200); \
+                 tick 5",
+            )
+            .unwrap();
+        let q = "explain select e from employee e where e.salary > 150";
+        match interp.run(q).unwrap() {
+            Outcome::Explain(s) => {
+                assert!(s.contains("plan (now):"), "{s}");
+                assert!(s.contains("var e: employee"), "{s}");
+                assert!(s.contains("plan cache: miss"), "{s}");
+                assert!(s.contains("rows: 1"), "{s}");
+            }
+            other => panic!("expected explain, got {other}"),
+        }
+        // Second run of the same query reuses the cached plan.
+        match interp.run(q).unwrap() {
+            Outcome::Explain(s) => assert!(s.contains("plan cache: hit"), "{s}"),
+            other => panic!("expected explain, got {other}"),
+        }
+        // Display passthrough.
+        assert!(interp.run(q).unwrap().to_string().contains("plan cache: hit"));
+        // DDL invalidates cached plans.
+        interp.run("define class extra ()").unwrap();
+        match interp.run(q).unwrap() {
+            Outcome::Explain(s) => assert!(s.contains("plan cache: miss"), "{s}"),
+            other => panic!("expected explain, got {other}"),
+        }
+    }
+
+    #[test]
+    fn repeated_selects_share_one_cached_plan() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class t (k: integer); \
+                 advance to 1; \
+                 create t (k := 1); \
+                 tick",
+            )
+            .unwrap();
+        for _ in 0..3 {
+            match interp.run("select x from t x where x.k = 1").unwrap() {
+                Outcome::Table(t) => assert_eq!(t.len(), 1),
+                other => panic!("expected table, got {other}"),
+            }
+        }
+        assert_eq!(interp.plans.len(), 1);
     }
 
     #[test]

@@ -27,13 +27,19 @@
 
 pub mod ast;
 pub mod eval;
+pub mod exec;
 pub mod interp;
 pub mod parser;
+pub mod plan;
 pub mod token;
 pub mod typecheck;
 
 pub use ast::{CmpOp, Expr, Literal, Projection, Select, Stmt, TimeSpec};
-pub use eval::{eval_select, touch_metrics, EvalError, QueryResult, QUERY_METRICS};
+pub use eval::{
+    eval_select, eval_select_naive, touch_metrics, EvalError, QueryResult, QUERY_METRICS,
+};
+pub use exec::{execute_plan, ExecOptions, ExecStats};
 pub use interp::{Interpreter, Outcome, QueryError};
 pub use parser::{parse, parse_script, ParseError};
+pub use plan::{plan_select, render_explain, PlanCache, PlannedQuery};
 pub use typecheck::{check_select, TypeError};

@@ -238,6 +238,13 @@ impl Parser {
         if self.eat_kw("select") {
             return self.select();
         }
+        if self.eat_kw("explain") {
+            self.expect_kw("select")?;
+            return match self.select()? {
+                Stmt::Select(q) => Ok(Stmt::Explain(q)),
+                _ => unreachable!("select() yields Stmt::Select"),
+            };
+        }
         if self.eat_kw("show") {
             self.expect_kw("class")?;
             return Ok(Stmt::ShowClass(ClassId::from(self.ident()?)));
