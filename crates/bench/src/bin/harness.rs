@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E13, E15, E16) and prints them as Markdown.
+//! (E1–E13, E15–E17) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -65,6 +65,9 @@ fn main() {
     }
     if want("E16") {
         e16_query_planner();
+    }
+    if want("E17") {
+        e17_governor();
     }
 }
 
@@ -805,5 +808,57 @@ fn e16_query_planner() {
     println!("|---|---|");
     println!("| warm statement (cache hit) | {} |", fmt_ns(warm_ns));
     println!("| cache hits over 31 reruns | {hits} |");
+    println!();
+}
+
+fn e17_governor() {
+    use tchimera_query::exec::{execute_plan, ExecOptions};
+    use tchimera_query::{plan_select, ExecBudget, Interpreter, QueryError};
+
+    header("E17", "Resource governor: overhead and time-to-trip");
+    let sel = |src: &str| match parse(src).unwrap() {
+        Stmt::Select(s) => s,
+        _ => unreachable!(),
+    };
+
+    // Accounting overhead on a well-behaved join, budget off vs on.
+    let db = tchimera_bench::org_db(400, 42);
+    let q = sel(
+        "select e.name, m.name from employee e, employee m \
+         where e.boss = m and e.salary >= 4500",
+    );
+    check_select(db.schema(), &q).unwrap();
+    let plan = plan_select(&q);
+    let off = ExecOptions::default();
+    let on = ExecOptions { budget: Some(ExecBudget::unlimited()), ..ExecOptions::default() };
+    let off_ns = time_ns(15, || execute_plan(&db, &plan, &off).unwrap());
+    let on_ns = time_ns(15, || execute_plan(&db, &plan, &on).unwrap());
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| join (400 objects), budget off | {} |", fmt_ns(off_ns));
+    println!("| join (400 objects), budget on | {} |", fmt_ns(on_ns));
+    println!("| accounting overhead | {:+.2}% |", (on_ns - off_ns) / off_ns * 100.0);
+
+    // Time-to-trip: an unfiltered 3-way cross product (64M bindings)
+    // through the interpreter's default budget, then recovery.
+    let mut interp = Interpreter::new();
+    interp
+        .run_script(
+            "define class a (v: integer); define class b (v: integer); \
+             define class c (v: integer); advance to 1;",
+        )
+        .unwrap();
+    for cls in ["a", "b", "c"] {
+        for i in 0..400 {
+            interp.run(&format!("create {cls} (v := {})", i % 7)).unwrap();
+        }
+    }
+    let trip_ns = time_ns(3, || {
+        let e = interp.run("select x, y, z from a x, b y, c z").unwrap_err();
+        assert!(matches!(e, QueryError::BudgetExceeded { .. }));
+    });
+    let ok_ns = time_ns(7, || interp.run("select count(x) from a x").unwrap());
+    println!("| 3-way cross (64M bindings) → BudgetExceeded | {} |", fmt_ns(trip_ns));
+    println!("| follow-up query in the same session | {} |", fmt_ns(ok_ns));
     println!();
 }

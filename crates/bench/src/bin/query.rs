@@ -147,7 +147,7 @@ fn main() {
     let q = sel("select e from employee e where sometime(e.salary > 4800)");
     check_select(db.schema(), &q).unwrap();
     let plan = plan_select(&q);
-    let serial_opts = ExecOptions { parallel: false, partitions: None };
+    let serial_opts = ExecOptions { parallel: false, partitions: None, ..Default::default() };
     let (rs, _) = execute_plan(&db, &plan, &serial_opts).unwrap();
     let (rp, stats) = execute_plan(&db, &plan, &ExecOptions::default()).unwrap();
     assert_eq!(rs.rows, rp.rows, "parallel scan must preserve row order");

@@ -1,0 +1,145 @@
+//! Query admission control: a shared concurrent-query gauge with a
+//! configurable cap.
+//!
+//! A [`Database`](crate::Database) (and, through it, every
+//! `PersistentDatabase`) carries one [`Admission`] shared by all clones.
+//! The query layer asks for an [`AdmissionPermit`] before executing a
+//! statement; when the cap is reached the request is **shed immediately**
+//! rather than queued — under overload an unbounded queue only converts
+//! excess load into latency and memory growth, while a fast refusal keeps
+//! the already-admitted queries (and every non-query operation) serving.
+//! The caller turns a refusal into a typed `Overloaded` error.
+//!
+//! The gauge is mirrored into the `query.governor.active` metric;
+//! admissions and refusals tick `query.governor.admitted` /
+//! `query.governor.shed` (`DESIGN.md` §9.3, §12).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default cap on concurrently executing queries per database.
+pub const DEFAULT_MAX_CONCURRENT_QUERIES: usize = 64;
+
+/// A concurrent-query gauge with a configurable cap. Shared (via `Arc`)
+/// by every clone of a [`Database`](crate::Database), so queries running
+/// against any handle count toward the same limit.
+#[derive(Debug)]
+pub struct Admission {
+    active: AtomicUsize,
+    cap: AtomicUsize,
+}
+
+impl Default for Admission {
+    fn default() -> Admission {
+        Admission::new(DEFAULT_MAX_CONCURRENT_QUERIES)
+    }
+}
+
+impl Admission {
+    /// An admission gate allowing at most `cap` concurrent queries
+    /// (`0` is clamped to `1`).
+    #[must_use]
+    pub fn new(cap: usize) -> Admission {
+        Admission {
+            active: AtomicUsize::new(0),
+            cap: AtomicUsize::new(cap.max(1)),
+        }
+    }
+
+    /// Number of currently admitted queries.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> usize {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigure the cap (`0` is clamped to `1`). Takes effect for
+    /// subsequent admissions; already-admitted queries are unaffected.
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Try to admit one query. Returns the RAII permit, or `None` when
+    /// the cap is reached — the caller sheds the query instead of
+    /// queueing it.
+    pub fn try_enter(&self) -> Option<AdmissionPermit<'_>> {
+        let cap = self.cap();
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= cap {
+                tchimera_obs::counter!("query.governor.shed").inc();
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    tchimera_obs::counter!("query.governor.admitted").inc();
+                    tchimera_obs::gauge!("query.governor.active").adjust(1);
+                    return Some(AdmissionPermit { gate: self });
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// An admitted query slot; releases the slot (and decrements the
+/// `query.governor.active` gauge) on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.active.fetch_sub(1, Ordering::AcqRel);
+        tchimera_obs::gauge!("query.governor.active").adjust(-1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_cap_then_sheds() {
+        let gate = Admission::new(2);
+        let a = gate.try_enter().expect("first");
+        let b = gate.try_enter().expect("second");
+        assert!(gate.try_enter().is_none(), "cap reached: must shed");
+        assert_eq!(gate.active(), 2);
+        drop(a);
+        let c = gate.try_enter().expect("slot freed");
+        drop(b);
+        drop(c);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn cap_is_reconfigurable_and_clamped() {
+        let gate = Admission::new(0);
+        assert_eq!(gate.cap(), 1, "zero cap clamps to one");
+        gate.set_cap(3);
+        assert_eq!(gate.cap(), 3);
+        let _a = gate.try_enter().unwrap();
+        let _b = gate.try_enter().unwrap();
+        gate.set_cap(1);
+        assert!(gate.try_enter().is_none(), "new cap applies immediately");
+    }
+
+    #[test]
+    fn database_clones_share_the_gate() {
+        let db = crate::Database::new();
+        let clone = db.clone();
+        let permit = db.admission().try_enter().unwrap();
+        assert_eq!(clone.admission().active(), 1);
+        drop(permit);
+        assert_eq!(clone.admission().active(), 0);
+    }
+}

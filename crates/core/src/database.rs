@@ -51,6 +51,9 @@ pub struct Database {
     pub(crate) next_oid: u64,
     /// Inverse reference graph, kept in sync by every object mutation.
     pub(crate) refs: RefIndex,
+    /// Query admission gate, shared by every clone of this database so
+    /// concurrent queries against any handle count toward one cap.
+    pub(crate) admission: std::sync::Arc<crate::admission::Admission>,
 }
 
 impl Database {
@@ -58,6 +61,12 @@ impl Database {
     #[must_use]
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// The query admission gate (concurrent-query cap). Shared across
+    /// clones; see [`Admission`](crate::Admission).
+    pub fn admission(&self) -> &crate::admission::Admission {
+        &self.admission
     }
 
     // ------------------------------------------------------------------

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod admission;
 mod capabilities;
 mod class;
 mod consistency;
@@ -65,6 +66,7 @@ mod types;
 mod typing;
 mod value;
 
+pub use admission::{Admission, AdmissionPermit, DEFAULT_MAX_CONCURRENT_QUERIES};
 pub use capabilities::{Capabilities, CAPABILITIES};
 pub use class::{AttrDecl, AttrKind, Class, ClassDef, ClassKind, MethodSig};
 pub use consistency::{check_oid_uniqueness, ConsistencyError, ConsistencyReport};

@@ -322,6 +322,7 @@ impl Database {
             clock: state.clock,
             next_oid: state.next_oid,
             refs: RefIndex::default(),
+            admission: std::sync::Arc::default(),
         };
         let oids: Vec<Oid> = db.objects.keys().copied().collect();
         for oid in oids {

@@ -48,6 +48,33 @@ pub enum EvalError {
     /// A non-boolean value reached a boolean context (only possible when
     /// the static checker was bypassed).
     NotBoolean,
+    /// The query's [`ExecBudget`](crate::governor::ExecBudget) ran out of
+    /// `resource` (`DESIGN.md` §12).
+    Budget {
+        /// Which limit tripped.
+        resource: crate::governor::Resource,
+        /// Units spent when the limit tripped.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Work done up to the stop (for diagnosis).
+        progress: crate::governor::Progress,
+    },
+    /// The query's [`CancelToken`](crate::governor::CancelToken) fired.
+    Cancelled {
+        /// Work done up to the stop.
+        progress: crate::governor::Progress,
+    },
+    /// An internal invariant the evaluator relies on did not hold. Never
+    /// expected; reported instead of panicking so one broken query cannot
+    /// take the engine down.
+    Internal(String),
+}
+
+impl EvalError {
+    pub(crate) fn internal(msg: impl Into<String>) -> EvalError {
+        EvalError::Internal(msg.into())
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -55,6 +82,14 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::Model(e) => write!(f, "{e}"),
             EvalError::NotBoolean => write!(f, "non-boolean value in boolean context"),
+            EvalError::Budget { resource, spent, limit, progress } => write!(
+                f,
+                "query budget exceeded: {resource} {spent} > limit {limit} (progress: {progress})"
+            ),
+            EvalError::Cancelled { progress } => {
+                write!(f, "query cancelled (progress: {progress})")
+            }
+            EvalError::Internal(msg) => write!(f, "internal query error: {msg}"),
         }
     }
 }
@@ -89,6 +124,12 @@ pub const QUERY_METRICS: &[&str] = &[
     "query.plan.partitions",
     "query.plan.cache.hit",
     "query.plan.cache.miss",
+    "query.governor.active",
+    "query.governor.admitted",
+    "query.governor.shed",
+    "query.governor.budget_exceeded",
+    "query.governor.cancelled",
+    "query.panic.count",
 ];
 
 /// Register every query metric (at zero) so snapshots always carry the
@@ -106,6 +147,12 @@ pub fn touch_metrics() {
         r.counter("query.plan.partitions");
         r.counter("query.plan.cache.hit");
         r.counter("query.plan.cache.miss");
+        r.gauge("query.governor.active");
+        r.counter("query.governor.admitted");
+        r.counter("query.governor.shed");
+        r.counter("query.governor.budget_exceeded");
+        r.counter("query.governor.cancelled");
+        r.counter("query.panic.count");
     });
 }
 
@@ -188,7 +235,7 @@ pub fn eval_select_naive(db: &Database, q: &Select) -> Result<QueryResult, EvalE
 
     // Odometer over the cross product of candidate sets.
     let sizes: Vec<usize> = candidates.iter().map(|(_, c)| c.len()).collect();
-    if sizes.contains(&0) {
+    if sizes.contains(&0) || window.is_empty() {
         if counting {
             result.rows.push(vec![Value::Int(0)]);
         }
@@ -228,7 +275,9 @@ pub fn eval_select_naive(db: &Database, q: &Select) -> Result<QueryResult, EvalE
                         })
                 }
                 _ => {
-                    let t = window.lo().expect("point window");
+                    let t = window
+                        .lo()
+                        .ok_or_else(|| EvalError::internal("empty point window"))?;
                     eval_expr(db, &binding, t, now, filter)? == Value::Bool(true)
                 }
             },
@@ -237,7 +286,9 @@ pub fn eval_select_naive(db: &Database, q: &Select) -> Result<QueryResult, EvalE
             if counting {
                 count += 1;
             } else {
-                let t_eval = window.hi().expect("non-empty window");
+                let t_eval = window
+                    .hi()
+                    .ok_or_else(|| EvalError::internal("empty evaluation window"))?;
                 let mut row = Vec::with_capacity(q.projections.len());
                 for (v, p) in &q.projections {
                     row.push(eval_projection(db, bound(&binding, v), p, t_eval, window, q)?);

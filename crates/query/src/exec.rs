@@ -47,6 +47,7 @@ use crate::eval::{
     as_bool, compare, eval_projection, event_points_oids, projection_name,
     quantifier_scope_oids, EvalError, QueryResult,
 };
+use crate::governor::{approx_row_bytes, Charge, ExecBudget, Meter};
 use crate::plan::PlannedQuery;
 
 /// A compiled expression: [`Expr`] with variable names interned to
@@ -194,17 +195,24 @@ pub(crate) fn eval_cexpr(
 /// the crate's `rayon` feature is on and picks a partition count from the
 /// machine; tests override `partitions` to exercise boundaries
 /// deterministically (the row order is identical either way).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Run partitions in parallel (no-op without the `rayon` feature).
     pub parallel: bool,
     /// Fixed partition count for the outermost variable (`None` = auto).
     pub partitions: Option<usize>,
+    /// Resource budget governing this execution (`None` = ungoverned;
+    /// the interpreter always attaches one — see `DESIGN.md` §12).
+    pub budget: Option<ExecBudget>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel: cfg!(feature = "rayon"), partitions: None }
+        ExecOptions {
+            parallel: cfg!(feature = "rayon"),
+            partitions: None,
+            budget: None,
+        }
     }
 }
 
@@ -416,24 +424,32 @@ struct ExecCtx<'a> {
     cap_scan: Option<usize>,
     /// Bounded top-k buffer size (ORDER BY + LIMIT).
     topk: Option<usize>,
+    /// Shared budget meter (None = ungoverned execution).
+    meter: Option<&'a Meter>,
 }
 
 impl ExecCtx<'_> {
     /// Does a freshly extended binding survive this level's checks?
-    fn passes(&self, li: usize, oids: &[Oid]) -> Result<bool, EvalError> {
+    fn passes(
+        &self,
+        li: usize,
+        oids: &[Oid],
+        charge: &mut Charge<'_>,
+    ) -> Result<bool, EvalError> {
         let last = li + 1 == self.levels.len();
         if self.plan.during {
             // Joint existential re-check of the whole filter: pushdown
             // under DURING is only a necessary condition.
             if last {
                 if let Some(f) = &self.plan.full_filter {
-                    let pass = event_points_oids(self.db, oids, self.window, self.now)
-                        .into_iter()
-                        .any(|t| {
-                            eval_cexpr(self.db, oids, t, self.now, f)
-                                .map(|v| v == Value::Bool(true))
-                                .unwrap_or(false)
-                        });
+                    let pts =
+                        event_points_oids(self.db, oids, self.window, self.now);
+                    charge.cost(pts.len() as u64)?;
+                    let pass = pts.into_iter().any(|t| {
+                        eval_cexpr(self.db, oids, t, self.now, f)
+                            .map(|v| v == Value::Bool(true))
+                            .unwrap_or(false)
+                    });
                     return Ok(pass);
                 }
             }
@@ -465,15 +481,17 @@ impl ExecCtx<'_> {
         };
         let mut obuf = vec![Oid(0); n];
         let mut kbuf = vec![0u32; n];
+        let mut charge = Charge::new(self.meter);
 
         // Level 0: scan the base partition.
         let base = &self.levels[0];
         let mut partials = Partials::new(n);
         for cand in &self.cands[base.var][lo..hi] {
             out.levels[0].0 += 1;
+            charge.bindings(1)?;
             obuf[base.var] = cand.oid;
             kbuf[base.var] = cand.pos;
-            if self.passes(0, &obuf)? {
+            if self.passes(0, &obuf, &mut charge)? {
                 partials.push(&obuf, &kbuf);
                 out.levels[0].1 += 1;
                 if nlevels == 1 && self.cap_scan.is_some_and(|k| partials.len() >= k) {
@@ -506,10 +524,11 @@ impl ExecCtx<'_> {
                 };
                 for &ci in bucket {
                     out.levels[li].0 += 1;
+                    charge.bindings(1)?;
                     let cand = cnds[ci as usize];
                     obuf[lvl.var] = cand.oid;
                     kbuf[lvl.var] = cand.pos;
-                    if self.passes(li, &obuf)? {
+                    if self.passes(li, &obuf, &mut charge)? {
                         next.push(&obuf, &kbuf);
                         out.levels[li].1 += 1;
                         if last && self.cap_scan.is_some_and(|k| next.len() >= k) {
@@ -524,12 +543,17 @@ impl ExecCtx<'_> {
         // Produce rows (or just count).
         if plan.counting {
             out.count = partials.len() as i64;
+            charge.flush()?;
             return Ok(out);
         }
         if partials.len() == 0 {
+            charge.flush()?;
             return Ok(out);
         }
-        let t_eval = self.window.hi().expect("non-empty window");
+        let t_eval = self
+            .window
+            .hi()
+            .ok_or_else(|| EvalError::internal("empty evaluation window"))?;
         let q = &plan.q;
         for r in 0..partials.len() {
             let (oids, keys) = partials.row(r);
@@ -537,6 +561,7 @@ impl ExecCtx<'_> {
             for ((_, p), &vi) in q.projections.iter().zip(&plan.proj_vars) {
                 row.push(eval_projection(self.db, oids[vi], p, t_eval, self.window, q)?);
             }
+            charge.row(approx_row_bytes(&row))?;
             let oval = match &plan.order_key {
                 Some((e, _)) => Some(eval_cexpr(self.db, oids, t_eval, self.now, e)?),
                 None => None,
@@ -550,6 +575,7 @@ impl ExecCtx<'_> {
                 }
             }
         }
+        charge.flush()?;
         Ok(out)
     }
 }
@@ -623,8 +649,11 @@ pub fn execute_plan(
     stats.naive_bindings = raw.iter().map(|r| r.len() as u128).product();
 
     // Mirror the reference evaluator's early return on an empty extent
-    // (it skips filter evaluation and the work counters entirely).
-    if raw.iter().any(Vec::is_empty) {
+    // (it skips filter evaluation and the work counters entirely). An
+    // empty window (reversed or entirely-future DURING bounds) can bind
+    // nothing either, and returning here keeps the projection instant
+    // (`window.hi()`) total for every later stage.
+    if raw.iter().any(Vec::is_empty) || window.is_empty() {
         if plan.counting {
             result.rows.push(vec![Value::Int(0)]);
         }
@@ -635,11 +664,17 @@ pub fn execute_plan(
         return Ok((result, stats));
     }
 
+    // Budget accounting: one shared meter for the whole execution; the
+    // planning thread and every partition worker batch into it through
+    // local `Charge`s.
+    let meter = opts.budget.as_ref().map(Meter::new);
+    let mut charge = Charge::new(meter.as_ref());
+
     // Prefilter candidates (single-variable queries keep their conjuncts
     // as source-ordered level checks instead — exact naive semantics).
     let mut cands: Vec<Vec<Cand>> = Vec::with_capacity(n);
     for (i, r) in raw.iter().enumerate() {
-        let filtered = prefilter_var(db, plan, i, r, window, now)?;
+        let filtered = prefilter_var(db, plan, i, r, window, now, &mut charge)?;
         stats.vars[i].after = filtered.len();
         cands.push(filtered);
     }
@@ -665,6 +700,7 @@ pub fn execute_plan(
                     let build = if j.left == lvl.var { &j.left_key } else { &j.right_key };
                     let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
                     for (ci, cand) in cands[lvl.var].iter().enumerate() {
+                        charge.cost(1)?;
                         buf[lvl.var] = cand.oid;
                         let key = eval_cexpr(db, &buf, t0, now, build)?;
                         m.entry(key).or_default().push(ci as u32);
@@ -710,6 +746,10 @@ pub fn execute_plan(
         tchimera_obs::counter!("query.plan.partitions").add(ranges.len() as u64);
     }
 
+    // The planning-stage batch must reconcile before workers start, so
+    // a budget blown during prefilter/build surfaces here.
+    charge.flush()?;
+
     let ctx = ExecCtx {
         db,
         plan,
@@ -722,6 +762,7 @@ pub fn execute_plan(
         all_indices: &all_indices,
         cap_scan,
         topk,
+        meter: meter.as_ref(),
     };
     #[cfg(feature = "rayon")]
     let parts: Vec<Result<PartOut, EvalError>> = if par && ranges.len() > 1 {
@@ -792,6 +833,7 @@ fn prefilter_var(
     raw: &[Oid],
     window: Interval,
     now: Instant,
+    charge: &mut Charge<'_>,
 ) -> Result<Vec<Cand>, EvalError> {
     let pres = &plan.prefilters[i];
     if pres.is_empty() {
@@ -801,12 +843,16 @@ fn prefilter_var(
             .map(|(pos, &oid)| Cand { oid, pos: pos as u32 })
             .collect());
     }
+    let t_point = window
+        .lo()
+        .ok_or_else(|| EvalError::internal("empty evaluation window"))?;
     let mut out = Vec::new();
     let mut buf = vec![Oid(0); plan.n];
     for (pos, &oid) in raw.iter().enumerate() {
         buf[i] = oid;
         let keep = if plan.during {
             let pts = event_points_oids(db, std::slice::from_ref(&oid), window, now);
+            charge.cost(1 + pts.len() as u64)?;
             pres.iter().all(|c| {
                 pts.iter().any(|&t| {
                     eval_cexpr(db, &buf, t, now, c)
@@ -815,10 +861,10 @@ fn prefilter_var(
                 })
             })
         } else {
-            let t = window.lo().expect("point window");
+            charge.cost(1)?;
             let mut keep = true;
             for c in pres {
-                if eval_cexpr(db, &buf, t, now, c)? != Value::Bool(true) {
+                if eval_cexpr(db, &buf, t_point, now, c)? != Value::Bool(true) {
                     keep = false;
                     break;
                 }
@@ -864,7 +910,11 @@ mod tests {
     }
 
     fn serial(partitions: usize) -> ExecOptions {
-        ExecOptions { parallel: false, partitions: Some(partitions) }
+        ExecOptions {
+            parallel: false,
+            partitions: Some(partitions),
+            ..Default::default()
+        }
     }
 
     #[test]

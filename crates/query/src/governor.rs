@@ -1,0 +1,436 @@
+//! The query resource governor: execution budgets and cooperative
+//! cancellation (`DESIGN.md` §12).
+//!
+//! The paper's temporal algebra admits queries whose cost is unbounded —
+//! a `DURING` existential recheck over a cross product examines every
+//! binding at every history event point, and the planner only shrinks
+//! *well-shaped* queries. An [`ExecBudget`] caps the damage: it bounds
+//! examined bindings, materialized rows/bytes and total logical cost, and
+//! carries a shared [`CancelToken`] so a client (or an operator) can stop
+//! a running query cooperatively. The executor meters its work against
+//! the budget and aborts with a typed error
+//! ([`EvalError::Budget`](crate::EvalError) /
+//! [`EvalError::Cancelled`](crate::EvalError)) carrying a [`Progress`]
+//! snapshot of how far it got.
+//!
+//! Accounting is deliberately *logical* (work units, not wall-clock):
+//! runs are deterministic and tests need no timers. One cost unit is one
+//! elementary evaluator step — a candidate binding examined, a prefilter
+//! candidate checked, a hash-table build entry, a `DURING` event point
+//! visited, or a row materialized. Partition workers batch their counts
+//! locally and reconcile against the shared meter every
+//! [`CHECK_STRIDE`] units, so a budget can be overrun by at most
+//! `partitions × CHECK_STRIDE` units and the fast path stays free of
+//! shared-cache traffic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tchimera_core::Value;
+
+use crate::eval::EvalError;
+
+/// How many locally-accumulated cost units a worker may hold before it
+/// must reconcile with the shared meter (and notice cancellation).
+pub const CHECK_STRIDE: u64 = 1024;
+
+/// A shared flag for cooperative cancellation. Cloning shares the flag;
+/// cancelling any clone stops every query carrying one within
+/// [`CHECK_STRIDE`] work units.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Clear the flag so the token can govern another query.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// The budgeted resource that ran out (for `BudgetExceeded` errors).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resource {
+    /// Candidate bindings examined by the join pipeline.
+    Bindings,
+    /// Result rows materialized.
+    Rows,
+    /// Approximate bytes of materialized result values.
+    Bytes,
+    /// Total logical cost units (the query's deadline).
+    Cost,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Bindings => "bindings",
+            Resource::Rows => "rows",
+            Resource::Bytes => "bytes",
+            Resource::Cost => "cost",
+        })
+    }
+}
+
+/// A snapshot of how much work a query had done when it was stopped —
+/// attached to budget/cancellation errors for EXPLAIN-style diagnosis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Progress {
+    /// Candidate bindings examined.
+    pub bindings: u64,
+    /// Result rows materialized.
+    pub rows: u64,
+    /// Approximate result bytes materialized.
+    pub bytes: u64,
+    /// Total logical cost units spent.
+    pub cost: u64,
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bindings, {} rows, {} bytes, {} cost units",
+            self.bindings, self.rows, self.bytes, self.cost
+        )
+    }
+}
+
+/// Resource limits for one query execution, plus the cancellation token.
+///
+/// Limits are in logical units (see the module docs); `u64::MAX` means
+/// "unlimited". The [`Default`] budget is sized so every reasonable query
+/// completes untouched while a pathological one (an unfiltered multi-way
+/// cross product, a full-history `DURING` recheck) is stopped long before
+/// it can pin a core or exhaust memory.
+#[derive(Clone, Debug)]
+pub struct ExecBudget {
+    /// Max candidate bindings the join pipeline may examine.
+    pub max_bindings: u64,
+    /// Max result rows that may be materialized.
+    pub max_rows: u64,
+    /// Max approximate result bytes that may be materialized.
+    pub max_bytes: u64,
+    /// Max total logical cost units — the query's logical deadline.
+    pub max_cost: u64,
+    /// Cooperative cancellation flag, checked at every reconciliation.
+    pub cancel: CancelToken,
+}
+
+impl Default for ExecBudget {
+    fn default() -> ExecBudget {
+        ExecBudget {
+            max_bindings: 1_000_000,
+            max_rows: 100_000,
+            max_bytes: 64 << 20,
+            max_cost: 4_000_000,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl ExecBudget {
+    /// A budget that never trips (but still honors its [`CancelToken`]).
+    #[must_use]
+    pub fn unlimited() -> ExecBudget {
+        ExecBudget {
+            max_bindings: u64::MAX,
+            max_rows: u64::MAX,
+            max_bytes: u64::MAX,
+            max_cost: u64::MAX,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Replace the cancellation token (builder-style).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ExecBudget {
+        self.cancel = cancel;
+        self
+    }
+}
+
+/// The shared side of budget accounting: totals across all partition
+/// workers of one query execution. Workers reconcile their local
+/// [`Charge`] batches here and learn about exhaustion/cancellation.
+#[derive(Debug)]
+pub(crate) struct Meter {
+    budget: ExecBudget,
+    bindings: AtomicU64,
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    cost: AtomicU64,
+}
+
+impl Meter {
+    pub(crate) fn new(budget: &ExecBudget) -> Meter {
+        Meter {
+            budget: budget.clone(),
+            bindings: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            cost: AtomicU64::new(0),
+        }
+    }
+
+    /// Total work reconciled so far (in-flight local batches excluded).
+    pub(crate) fn progress(&self) -> Progress {
+        Progress {
+            bindings: self.bindings.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            cost: self.cost.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold a local batch into the totals, then verify every limit and
+    /// the cancellation flag. Saturating adds: a pathological query can
+    /// not overflow the meters.
+    fn reconcile(&self, delta: Progress) -> Result<(), EvalError> {
+        let add = |a: &AtomicU64, d: u64| {
+            if d > 0 {
+                a.fetch_add(d, Ordering::Relaxed);
+            }
+        };
+        add(&self.bindings, delta.bindings);
+        add(&self.rows, delta.rows);
+        add(&self.bytes, delta.bytes);
+        add(&self.cost, delta.cost);
+        let progress = self.progress();
+        if self.budget.cancel.is_cancelled() {
+            return Err(EvalError::Cancelled { progress });
+        }
+        let b = &self.budget;
+        let over = [
+            (Resource::Bindings, progress.bindings, b.max_bindings),
+            (Resource::Rows, progress.rows, b.max_rows),
+            (Resource::Bytes, progress.bytes, b.max_bytes),
+            (Resource::Cost, progress.cost, b.max_cost),
+        ]
+        .into_iter()
+        .find(|&(_, spent, limit)| spent > limit);
+        match over {
+            Some((resource, spent, limit)) => Err(EvalError::Budget {
+                resource,
+                spent,
+                limit,
+                progress,
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A worker's local, batching view of the budget. All the hot-path
+/// methods are plain integer arithmetic on local fields; the shared
+/// [`Meter`] is touched only every [`CHECK_STRIDE`] cost units (or at
+/// [`Charge::flush`]). With no meter attached every method is a no-op,
+/// so unbudgeted execution pays a single well-predicted branch.
+#[derive(Debug)]
+pub(crate) struct Charge<'m> {
+    meter: Option<&'m Meter>,
+    local: Progress,
+    pending: u64,
+}
+
+impl<'m> Charge<'m> {
+    pub(crate) fn new(meter: Option<&'m Meter>) -> Charge<'m> {
+        Charge { meter, local: Progress::default(), pending: 0 }
+    }
+
+    /// Charge `n` examined candidate bindings (each is one cost unit).
+    #[inline]
+    pub(crate) fn bindings(&mut self, n: u64) -> Result<(), EvalError> {
+        if self.meter.is_none() {
+            return Ok(());
+        }
+        self.local.bindings += n;
+        self.local.cost += n;
+        self.bump(n)
+    }
+
+    /// Charge `n` generic cost units (prefilter candidates, hash-build
+    /// entries, `DURING` event points).
+    #[inline]
+    pub(crate) fn cost(&mut self, n: u64) -> Result<(), EvalError> {
+        if self.meter.is_none() {
+            return Ok(());
+        }
+        self.local.cost += n;
+        self.bump(n)
+    }
+
+    /// Charge one materialized row of approximately `bytes` bytes.
+    #[inline]
+    pub(crate) fn row(&mut self, bytes: u64) -> Result<(), EvalError> {
+        if self.meter.is_none() {
+            return Ok(());
+        }
+        self.local.rows += 1;
+        self.local.bytes += bytes;
+        self.local.cost += 1;
+        // Byte-heavy rows reconcile proportionally sooner, bounding the
+        // memory a worker can commit between checks.
+        self.bump(1 + bytes / 64)
+    }
+
+    #[inline]
+    fn bump(&mut self, n: u64) -> Result<(), EvalError> {
+        self.pending += n;
+        if self.pending >= CHECK_STRIDE {
+            return self.flush();
+        }
+        Ok(())
+    }
+
+    /// Reconcile the local batch with the shared meter now.
+    pub(crate) fn flush(&mut self) -> Result<(), EvalError> {
+        let Some(meter) = self.meter else { return Ok(()) };
+        let delta = std::mem::take(&mut self.local);
+        self.pending = 0;
+        meter.reconcile(delta)
+    }
+}
+
+/// Approximate heap footprint of a produced row, for byte budgeting.
+/// Deliberately cheap and coarse: container headers plus payload.
+pub(crate) fn approx_row_bytes(row: &[Value]) -> u64 {
+    32 + row.iter().map(approx_value_bytes).sum::<u64>()
+}
+
+fn approx_value_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Null
+        | Value::Int(_)
+        | Value::Real(_)
+        | Value::Bool(_)
+        | Value::Char(_)
+        | Value::Time(_)
+        | Value::Oid(_) => 16,
+        Value::Str(s) => 24 + s.len() as u64,
+        Value::Set(vs) | Value::List(vs) => {
+            24 + vs.iter().map(approx_value_bytes).sum::<u64>()
+        }
+        Value::Record(fs) => {
+            24 + fs
+                .iter()
+                .map(|(n, v)| 16 + n.as_str().len() as u64 + approx_value_bytes(v))
+                .sum::<u64>()
+        }
+        Value::Temporal(h) => {
+            24 + h
+                .entries()
+                .iter()
+                .map(|e| 24 + approx_value_bytes(&e.value))
+                .sum::<u64>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_and_resettable() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        clone.reset();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn meter_trips_the_tightest_limit_first() {
+        let budget = ExecBudget {
+            max_bindings: 10,
+            ..ExecBudget::unlimited()
+        };
+        let meter = Meter::new(&budget);
+        let mut charge = Charge::new(Some(&meter));
+        for _ in 0..10 {
+            charge.bindings(1).unwrap();
+        }
+        charge.flush().unwrap();
+        charge.bindings(1).unwrap();
+        match charge.flush() {
+            Err(EvalError::Budget { resource, spent, limit, progress }) => {
+                assert_eq!(resource, Resource::Bindings);
+                assert_eq!(spent, 11);
+                assert_eq!(limit, 10);
+                assert_eq!(progress.cost, 11);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batching_defers_reconciliation_until_the_stride() {
+        let budget = ExecBudget {
+            max_cost: 1,
+            ..ExecBudget::unlimited()
+        };
+        let meter = Meter::new(&budget);
+        let mut charge = Charge::new(Some(&meter));
+        // Under the stride nothing reconciles, so nothing trips yet…
+        for _ in 0..(CHECK_STRIDE - 1) {
+            charge.cost(1).unwrap();
+        }
+        assert_eq!(meter.progress().cost, 0);
+        // …the stride boundary reconciles and reports the overrun.
+        assert!(matches!(
+            charge.cost(1),
+            Err(EvalError::Budget { resource: Resource::Cost, .. })
+        ));
+    }
+
+    #[test]
+    fn cancellation_surfaces_with_progress() {
+        let budget = ExecBudget::unlimited();
+        let meter = Meter::new(&budget);
+        let mut charge = Charge::new(Some(&meter));
+        charge.bindings(5).unwrap();
+        budget.cancel.cancel();
+        match charge.flush() {
+            Err(EvalError::Cancelled { progress }) => {
+                assert_eq!(progress.bindings, 5)
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmetered_charges_are_free_and_infallible() {
+        let mut charge = Charge::new(None);
+        for _ in 0..(3 * CHECK_STRIDE) {
+            charge.bindings(1).unwrap();
+            charge.row(1 << 20).unwrap();
+        }
+        charge.flush().unwrap();
+    }
+
+    #[test]
+    fn row_bytes_scale_with_payload() {
+        let small = approx_row_bytes(&[Value::Int(1)]);
+        let big = approx_row_bytes(&[Value::Str("x".repeat(4096))]);
+        assert!(big > small + 4000);
+    }
+}

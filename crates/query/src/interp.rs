@@ -9,9 +9,10 @@ use tchimera_core::{
 
 use crate::ast::{ConstraintSpec, Stmt};
 use crate::eval::{EvalError, QueryResult};
-use crate::exec::{execute_plan, ExecOptions};
+use crate::exec::{execute_plan, ExecOptions, ExecStats};
+use crate::governor::{CancelToken, ExecBudget, Progress, Resource};
 use crate::parser::{parse, parse_script, ParseError};
-use crate::plan::{render_explain, PlanCache};
+use crate::plan::{render_explain, PlanCache, PlannedQuery};
 use crate::typecheck::TypeError;
 
 /// Any error produced while running a TCQL statement.
@@ -25,6 +26,33 @@ pub enum QueryError {
     Model(ModelError),
     /// Runtime evaluation error.
     Eval(EvalError),
+    /// The query's resource budget ran out (`DESIGN.md` §12).
+    BudgetExceeded {
+        /// Which limit tripped.
+        resource: Resource,
+        /// Units spent when it tripped.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Work done up to the stop.
+        progress: Progress,
+    },
+    /// The query's cancellation token fired.
+    Cancelled {
+        /// Work done up to the stop.
+        progress: Progress,
+    },
+    /// The concurrent-query cap was reached; the query was shed rather
+    /// than queued.
+    Overloaded {
+        /// Queries running when this one was refused.
+        active: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The evaluator panicked; the panic was caught at the query API and
+    /// the engine keeps serving.
+    Internal(String),
 }
 
 impl fmt::Display for QueryError {
@@ -34,6 +62,18 @@ impl fmt::Display for QueryError {
             QueryError::Type(e) => write!(f, "type error: {e}"),
             QueryError::Model(e) => write!(f, "{e}"),
             QueryError::Eval(e) => write!(f, "{e}"),
+            QueryError::BudgetExceeded { resource, spent, limit, progress } => write!(
+                f,
+                "query budget exceeded: {resource} {spent} > limit {limit} (progress: {progress})"
+            ),
+            QueryError::Cancelled { progress } => {
+                write!(f, "query cancelled (progress: {progress})")
+            }
+            QueryError::Overloaded { active, cap } => write!(
+                f,
+                "overloaded: {active} queries already running (cap {cap}); retry later"
+            ),
+            QueryError::Internal(msg) => write!(f, "internal query error: {msg}"),
         }
     }
 }
@@ -57,7 +97,14 @@ impl From<ModelError> for QueryError {
 }
 impl From<EvalError> for QueryError {
     fn from(e: EvalError) -> Self {
-        QueryError::Eval(e)
+        match e {
+            EvalError::Budget { resource, spent, limit, progress } => {
+                QueryError::BudgetExceeded { resource, spent, limit, progress }
+            }
+            EvalError::Cancelled { progress } => QueryError::Cancelled { progress },
+            EvalError::Internal(msg) => QueryError::Internal(msg),
+            other => QueryError::Eval(other),
+        }
     }
 }
 
@@ -135,10 +182,18 @@ impl fmt::Display for Outcome {
 }
 
 /// A stateful TCQL interpreter owning a [`Database`].
+///
+/// Every `SELECT`/`EXPLAIN` it executes is **governed** (`DESIGN.md`
+/// §12): admission-controlled against the database's concurrent-query
+/// cap, metered against the interpreter's [`ExecBudget`] (default limits
+/// unless [`Interpreter::set_budget`] overrides them), and shielded so an
+/// evaluator panic surfaces as [`QueryError::Internal`] instead of
+/// unwinding through the caller.
 #[derive(Default)]
 pub struct Interpreter {
     db: Database,
     plans: PlanCache,
+    budget: ExecBudget,
 }
 
 impl Interpreter {
@@ -151,7 +206,7 @@ impl Interpreter {
     /// Wrap an existing database.
     #[must_use]
     pub fn with_db(db: Database) -> Interpreter {
-        Interpreter { db, plans: PlanCache::default() }
+        Interpreter { db, ..Interpreter::default() }
     }
 
     /// The underlying database.
@@ -163,6 +218,69 @@ impl Interpreter {
     /// use).
     pub fn db_mut(&mut self) -> &mut Database {
         &mut self.db
+    }
+
+    /// The budget governing each query this interpreter runs.
+    pub fn budget(&self) -> &ExecBudget {
+        &self.budget
+    }
+
+    /// Replace the per-query budget (applies to subsequent statements).
+    pub fn set_budget(&mut self, budget: ExecBudget) {
+        self.budget = budget;
+    }
+
+    /// The cancellation token attached to this interpreter's queries.
+    /// Cancel it from another thread to stop the running query; it is
+    /// NOT auto-reset, so call [`CancelToken::reset`] before reuse.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.budget.cancel.clone()
+    }
+
+    /// Run a planned query under the full governor: admission control,
+    /// budget metering, and a panic shield. This is the only path by
+    /// which the interpreter executes query plans.
+    fn governed_query(
+        &self,
+        plan: &PlannedQuery,
+    ) -> Result<(QueryResult, ExecStats), QueryError> {
+        let gate = self.db.admission();
+        let Some(_permit) = gate.try_enter() else {
+            return Err(QueryError::Overloaded {
+                active: gate.active(),
+                cap: gate.cap(),
+            });
+        };
+        let opts = ExecOptions {
+            budget: Some(self.budget.clone()),
+            ..ExecOptions::default()
+        };
+        // The shield: `execute_plan` reads shared state only (&Database),
+        // so observing it after a caught unwind is sound; the permit's
+        // Drop still runs, nothing is poisoned, and the engine serves the
+        // next statement.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_plan(&self.db, plan, &opts)
+        }));
+        match caught {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => {
+                match &e {
+                    EvalError::Budget { .. } => {
+                        tchimera_obs::counter!("query.governor.budget_exceeded").inc()
+                    }
+                    EvalError::Cancelled { .. } => {
+                        tchimera_obs::counter!("query.governor.cancelled").inc()
+                    }
+                    _ => {}
+                }
+                Err(e.into())
+            }
+            Err(payload) => {
+                tchimera_obs::counter!("query.panic.count").inc();
+                Err(QueryError::Internal(panic_message(payload)))
+            }
+        }
     }
 
     /// Parse, type-check and execute a single statement.
@@ -224,12 +342,12 @@ impl Interpreter {
             Stmt::AdvanceTo(t) => Outcome::Time(self.db.advance_to(Instant(t))?),
             Stmt::Select(q) => {
                 let (plan, _hit) = self.plans.get_or_plan(self.db.schema(), &q)?;
-                let (table, _stats) = execute_plan(&self.db, &plan, &ExecOptions::default())?;
+                let (table, _stats) = self.governed_query(&plan)?;
                 Outcome::Table(table)
             }
             Stmt::Explain(q) => {
                 let (plan, hit) = self.plans.get_or_plan(self.db.schema(), &q)?;
-                let (_table, stats) = execute_plan(&self.db, &plan, &ExecOptions::default())?;
+                let (_table, stats) = self.governed_query(&plan)?;
                 Outcome::Explain(render_explain(&plan, &stats, hit))
             }
             Stmt::ShowClass(c) => {
@@ -299,6 +417,17 @@ impl Interpreter {
                 Outcome::Constraint(self.db.check_constraint(&constraint))
             }
         })
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query evaluator panicked".to_owned()
     }
 }
 
@@ -615,6 +744,124 @@ mod tests {
             }
         }
         assert_eq!(interp.plans.len(), 1);
+    }
+
+    fn governed_db(interp: &mut Interpreter, per_class: usize) {
+        interp
+            .run_script(
+                "define class a (v: integer); \
+                 define class b (v: integer); \
+                 define class c (v: integer); \
+                 advance to 1",
+            )
+            .unwrap();
+        for class in ["a", "b", "c"] {
+            for i in 0..per_class {
+                interp
+                    .run(&format!("create {class} (v := {})", i % 7))
+                    .unwrap();
+            }
+        }
+        interp.run("tick").unwrap();
+    }
+
+    #[test]
+    fn pathological_cross_product_trips_default_budget_then_session_recovers() {
+        let mut interp = Interpreter::new();
+        governed_db(&mut interp, 200);
+        // 200³ = 8M bindings against the default 1M binding budget.
+        let err = interp
+            .run("select count(x) from a x, b y, c z")
+            .unwrap_err();
+        match err {
+            QueryError::BudgetExceeded { spent, limit, progress, .. } => {
+                assert!(spent > limit);
+                assert!(progress.cost > 0);
+            }
+            other => panic!("expected budget error, got {other}"),
+        }
+        // The same session keeps serving immediately and correctly.
+        match interp.run("select count(x) from a x where x.v = 0").unwrap() {
+            Outcome::Table(t) => assert_eq!(t.rows[0][0], Value::Int(29)),
+            other => panic!("expected table, got {other}"),
+        }
+        assert_eq!(interp.db().admission().active(), 0, "permit released");
+    }
+
+    #[test]
+    fn configured_budget_is_honored_and_replaceable() {
+        let mut interp = Interpreter::new();
+        governed_db(&mut interp, 20);
+        interp.set_budget(ExecBudget {
+            max_bindings: 10,
+            ..ExecBudget::unlimited()
+        });
+        let err = interp.run("select count(x) from a x, b y").unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::BudgetExceeded { resource: Resource::Bindings, limit: 10, .. }
+        ));
+        interp.set_budget(ExecBudget::unlimited());
+        match interp.run("select count(x) from a x, b y").unwrap() {
+            Outcome::Table(t) => assert_eq!(t.rows[0][0], Value::Int(400)),
+            other => panic!("expected table, got {other}"),
+        }
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing() {
+        let mut interp = Interpreter::new();
+        governed_db(&mut interp, 5);
+        // A database clone shares the admission gate; hold its only slot.
+        let gate_holder = interp.db().clone();
+        gate_holder.admission().set_cap(1);
+        let permit = gate_holder.admission().try_enter().unwrap();
+        let err = interp.run("select x from a x").unwrap_err();
+        assert!(matches!(err, QueryError::Overloaded { active: 1, cap: 1 }));
+        drop(permit);
+        assert!(interp.run("select x from a x").is_ok(), "slot freed");
+    }
+
+    #[test]
+    fn panic_shield_reports_internal_and_keeps_serving() {
+        let mut interp = Interpreter::new();
+        governed_db(&mut interp, 5);
+        let q = match parse("select x from a x") {
+            Ok(Stmt::Select(s)) => s,
+            _ => unreachable!(),
+        };
+        // Corrupt a plan invariant the executor trusts (projection slot
+        // out of range) to force a panic inside `execute_plan`.
+        let mut plan = crate::plan::plan_select(&q);
+        plan.proj_vars = vec![usize::MAX];
+        let panic_count = || {
+            tchimera_obs::registry()
+                .snapshot()
+                .counter("query.panic.count")
+                .unwrap_or(0)
+        };
+        let panics_before = panic_count();
+        let err = interp.governed_query(&plan).unwrap_err();
+        assert!(matches!(err, QueryError::Internal(_)), "got {err}");
+        assert_eq!(panic_count(), panics_before + 1);
+        // Nothing poisoned: the permit was released and queries still run.
+        assert_eq!(interp.db().admission().active(), 0);
+        match interp.run("select count(x) from a x").unwrap() {
+            Outcome::Table(t) => assert_eq!(t.rows[0][0], Value::Int(5)),
+            other => panic!("expected table, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_a_query_and_resets_for_the_next() {
+        let mut interp = Interpreter::new();
+        governed_db(&mut interp, 10);
+        let token = interp.cancel_token();
+        token.cancel();
+        let err = interp.run("select x from a x").unwrap_err();
+        assert!(matches!(err, QueryError::Cancelled { .. }), "got {err}");
+        token.reset();
+        assert!(interp.run("select x from a x").is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod ast;
 pub mod eval;
 pub mod exec;
+pub mod governor;
 pub mod interp;
 pub mod parser;
 pub mod plan;
@@ -39,7 +40,8 @@ pub use eval::{
     eval_select, eval_select_naive, touch_metrics, EvalError, QueryResult, QUERY_METRICS,
 };
 pub use exec::{execute_plan, ExecOptions, ExecStats};
+pub use governor::{CancelToken, ExecBudget, Progress, Resource};
 pub use interp::{Interpreter, Outcome, QueryError};
-pub use parser::{parse, parse_script, ParseError};
+pub use parser::{parse, parse_script, ParseError, ParseErrorKind};
 pub use plan::{plan_select, render_explain, PlanCache, PlannedQuery};
 pub use typecheck::{check_select, TypeError};

@@ -7,6 +7,17 @@ use tchimera_core::{AttrDecl, ClassDef, ClassId, MethodSig, Type};
 use crate::ast::{CmpOp, ConstraintSpec, Expr, Literal, Projection, Select, Stmt, TimeSpec};
 use crate::token::{lex, LexError, Token, TokenKind};
 
+/// What went wrong, beyond the human-readable message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ParseErrorKind {
+    /// Malformed input (the common case).
+    #[default]
+    Syntax,
+    /// The input nests deeper than [`MAX_PARSE_DEPTH`]; the parser stops
+    /// instead of overflowing its stack.
+    TooDeep,
+}
+
 /// A parse error with source offset.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ParseError {
@@ -14,6 +25,28 @@ pub struct ParseError {
     pub offset: usize,
     /// Description.
     pub message: String,
+    /// Error classification.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+            kind: ParseErrorKind::Syntax,
+        }
+    }
+
+    fn too_deep(offset: usize) -> ParseError {
+        ParseError {
+            offset,
+            message: format!(
+                "expression nests deeper than {MAX_PARSE_DEPTH} levels"
+            ),
+            kind: ParseErrorKind::TooDeep,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -26,17 +59,20 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError {
-            offset: e.offset,
-            message: e.message,
-        }
+        ParseError::new(e.offset, e.message)
     }
 }
+
+/// Maximum nesting depth the recursive-descent parser accepts. Each
+/// level costs a handful of stack frames, so the limit keeps adversarial
+/// input (e.g. ten thousand opening parentheses) from overflowing the
+/// stack while leaving two-hundred-plus levels for real queries.
+pub const MAX_PARSE_DEPTH: usize = 256;
 
 /// Parse a single TCQL statement.
 pub fn parse(src: &str) -> Result<Stmt, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let stmt = p.statement()?;
     // Allow an optional trailing semicolon.
     p.eat(&TokenKind::Semicolon);
@@ -47,7 +83,7 @@ pub fn parse(src: &str) -> Result<Stmt, ParseError> {
 /// Parse a `;`-separated script into statements (empty segments skipped).
 pub fn parse_script(src: &str) -> Result<Vec<Stmt>, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let mut out = Vec::new();
     loop {
         while p.eat(&TokenKind::Semicolon) {}
@@ -65,11 +101,28 @@ pub fn parse_script(src: &str) -> Result<Vec<Stmt>, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current nesting depth of the recursive grammar rules.
+    depth: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// Run one level of a recursive grammar rule, refusing to descend past
+    /// [`MAX_PARSE_DEPTH`].
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(ParseError::too_deep(self.peek().offset));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn at_eof(&self) -> bool {
@@ -85,10 +138,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError {
-            offset: self.peek().offset,
-            message: format!("{} (found {})", msg.into(), self.peek().kind),
-        }
+        ParseError::new(
+            self.peek().offset,
+            format!("{} (found {})", msg.into(), self.peek().kind),
+        )
     }
 
     fn eat(&mut self, kind: &TokenKind) -> bool {
@@ -400,6 +453,10 @@ impl Parser {
 
     /// A type expression in the paper's concrete syntax.
     fn type_expr(&mut self) -> Result<Type, ParseError> {
+        self.descend(Self::type_expr_inner)
+    }
+
+    fn type_expr_inner(&mut self) -> Result<Type, ParseError> {
         let head = self.ident()?;
         let lower = head.to_ascii_lowercase();
         Ok(match lower.as_str() {
@@ -468,6 +525,10 @@ impl Parser {
     }
 
     fn literal(&mut self) -> Result<Literal, ParseError> {
+        self.descend(Self::literal_inner)
+    }
+
+    fn literal_inner(&mut self) -> Result<Literal, ParseError> {
         match self.peek().kind.clone() {
             TokenKind::Int(v) => {
                 self.bump();
@@ -562,13 +623,13 @@ impl Parser {
         for (v, p) in raw {
             let v = v.expect("projections always name a variable");
             if !var_names.contains(&v) {
-                return Err(ParseError {
-                    offset: 0,
-                    message: format!(
+                return Err(ParseError::new(
+                    0,
+                    format!(
                         "unknown variable `{v}` (range variables: {})",
                         var_names.join(", ")
                     ),
-                });
+                ));
             }
             projections.push((v, p));
         }
@@ -672,7 +733,10 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
-        self.or_expr(vars)
+        // Every cycle through the expression grammar re-enters here (via
+        // `primary`'s parenthesized/quantified forms), so this single
+        // depth guard bounds the whole expression recursion.
+        self.descend(|p| p.or_expr(vars))
     }
 
     fn or_expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
@@ -695,7 +759,9 @@ impl Parser {
 
     fn not_expr(&mut self, vars: &[String]) -> Result<Expr, ParseError> {
         if self.eat_kw("not") {
-            Ok(Expr::Not(Box::new(self.not_expr(vars)?)))
+            // Self-recursive without passing through `expr`: needs its
+            // own depth guard (`not not not …`).
+            self.descend(|p| Ok(Expr::Not(Box::new(p.not_expr(vars)?))))
         } else {
             self.cmp_expr(vars)
         }
@@ -967,6 +1033,47 @@ mod tests {
         assert!(parse("check nothing").is_err());
         // Unknown variable inside WHERE.
         assert!(parse("select p from employee p where q.x = 1").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // 10k parens: without the depth guard this overflows the stack.
+        let q = format!(
+            "select p from c p where {}p.x = 1{}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let e = parse(&q).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooDeep);
+        assert!(e.to_string().contains("nests deeper"));
+
+        // The same for a `not` chain (self-recursive rule)…
+        let q = format!("select p from c p where {} p.x = 1", "not ".repeat(10_000));
+        assert_eq!(parse(&q).unwrap_err().kind, ParseErrorKind::TooDeep);
+
+        // …nested collection literals…
+        let q = format!("create c (x := {}1{})", "[".repeat(10_000), "]".repeat(10_000));
+        assert_eq!(parse(&q).unwrap_err().kind, ParseErrorKind::TooDeep);
+
+        // …and nested type expressions.
+        let q = format!(
+            "define class c (x: {}integer{})",
+            "set-of(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        assert_eq!(parse(&q).unwrap_err().kind, ParseErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let q = format!(
+            "select p from c p where {}p.x = 1{}",
+            "(".repeat(MAX_PARSE_DEPTH - 8),
+            ")".repeat(MAX_PARSE_DEPTH - 8)
+        );
+        assert!(matches!(parse(&q).unwrap(), Stmt::Select(_)));
+        // Ordinary errors keep the Syntax kind.
+        assert_eq!(parse("select p from").unwrap_err().kind, ParseErrorKind::Syntax);
     }
 
     #[test]

@@ -226,8 +226,8 @@ proptest! {
             // Partition boundaries and parallelism must not reorder rows.
             let plan = plan_select(&q);
             for opts in [
-                ExecOptions { parallel: false, partitions: Some(1) },
-                ExecOptions { parallel: false, partitions: Some(3) },
+                ExecOptions { parallel: false, partitions: Some(1), ..Default::default() },
+                ExecOptions { parallel: false, partitions: Some(3), ..Default::default() },
                 ExecOptions::default(),
             ] {
                 let (r, _) = execute_plan(&db, &plan, &opts).expect("workload is total");

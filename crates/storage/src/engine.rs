@@ -298,6 +298,12 @@ impl PersistentDatabase {
         &self.db
     }
 
+    /// The query admission gate of the in-memory database (concurrent
+    /// query cap; see `tchimera_core::Admission`).
+    pub fn admission(&self) -> &tchimera_core::Admission {
+        self.db.admission()
+    }
+
     /// Operations folded into the state at open (snapshot + replayed).
     pub fn recovered_ops(&self) -> usize {
         self.recovered_ops
