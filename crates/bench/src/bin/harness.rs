@@ -69,6 +69,9 @@ fn main() {
     if want("E17") {
         e17_governor();
     }
+    if want("E18") {
+        e18_attridx();
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -860,5 +863,53 @@ fn e17_governor() {
     let ok_ns = time_ns(7, || interp.run("select count(x) from a x").unwrap());
     println!("| 3-way cross (64M bindings) → BudgetExceeded | {} |", fmt_ns(trip_ns));
     println!("| follow-up query in the same session | {} |", fmt_ns(ok_ns));
+    println!();
+}
+
+fn e18_attridx() {
+    use tchimera_query::exec::{execute_plan, ExecOptions};
+    use tchimera_query::plan_select;
+
+    header("E18", "Temporal attribute-value index: probes vs scans");
+    let sel = |src: &str| match parse(src).unwrap() {
+        Stmt::Select(s) => s,
+        _ => unreachable!(),
+    };
+    let db = tchimera_bench::dept_db(1_600, 2, 42);
+    let scan = ExecOptions { use_index: false, ..ExecOptions::default() };
+    println!("| query (1600 objects) | scan | index | scan bindings | index bindings |");
+    println!("|---|---|---|---|---|");
+    let workloads: [(&str, &str); 4] = [
+        (
+            "equality `dept = 'rare'` (1-in-16)",
+            "select e, e.v from emp e where e.dept = 'rare'",
+        ),
+        (
+            "membership (`or`-chain)",
+            "select e from emp e where e.dept = 'rare' or e.dept = 'd3'",
+        ),
+        ("equality, `as of 1`", "select e from emp e as of 1 where e.dept = 'rare'"),
+        (
+            "index-seeded reference join",
+            "select e, m from emp e, emp m where e.boss = m and e.dept = 'rare'",
+        ),
+    ];
+    for (name, src) in workloads {
+        let q = sel(src);
+        check_select(db.schema(), &q).unwrap();
+        let plan = plan_select(&q);
+        let (rs, ss) = execute_plan(&db, &plan, &scan).unwrap();
+        let (ri, si) = execute_plan(&db, &plan, &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows, ri.rows, "index must match scan");
+        let scan_ns = time_ns(7, || execute_plan(&db, &plan, &scan).unwrap());
+        let index_ns = time_ns(7, || execute_plan(&db, &plan, &ExecOptions::default()).unwrap());
+        println!(
+            "| {name} | {} | {} | {} | {} |",
+            fmt_ns(scan_ns),
+            fmt_ns(index_ns),
+            ss.bindings,
+            si.bindings,
+        );
+    }
     println!();
 }

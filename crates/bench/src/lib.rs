@@ -165,6 +165,46 @@ pub fn org_db(n: usize, seed: u64) -> Database {
     db
 }
 
+/// A department database for the attribute-value index study (E18):
+/// `n` employees with a temporal `dept` string — one in sixteen in the
+/// selective `'rare'` department, the rest spread over eight common
+/// ones — a temporal integer `v` updated `updates` times (churn the
+/// index does *not* cover, so histories are non-trivial), and a
+/// temporal `boss` reference to a lower-numbered employee.
+pub fn dept_db(n: usize, updates: usize, seed: u64) -> Database {
+    let mut r = rng(seed);
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::new("emp")
+            .attr("dept", Type::temporal(Type::STRING))
+            .attr("v", Type::temporal(Type::INTEGER))
+            .attr("boss", Type::temporal(Type::object("emp"))),
+    )
+    .unwrap();
+    db.advance_to(Instant(1)).unwrap();
+    let mut oids: Vec<Oid> = Vec::with_capacity(n);
+    for k in 0..n {
+        let dept = if k % 16 == 0 { "rare".to_owned() } else { format!("d{}", k % 8) };
+        let mut init = attrs([
+            ("dept", Value::str(dept)),
+            ("v", Value::Int(r.gen_range(0..1_000))),
+        ]);
+        if k > 0 {
+            init.insert("boss".into(), Value::Oid(oids[r.gen_range(0..k)]));
+        }
+        oids.push(db.create_object(&ClassId::from("emp"), init).unwrap());
+    }
+    for _ in 0..updates {
+        db.tick();
+        for &oid in &oids {
+            db.set_attr(oid, &"v".into(), Value::Int(r.gen_range(0..1_000)))
+                .unwrap();
+        }
+    }
+    db.tick();
+    db
+}
+
 /// A deep single-inheritance chain `c0 ⊇ c1 ⊇ … ⊇ c{depth}` for the
 /// subtype-check benchmark (E8).
 pub fn deep_chain_db(depth: usize) -> Database {

@@ -54,6 +54,10 @@ pub struct Database {
     /// Query admission gate, shared by every clone of this database so
     /// concurrent queries against any handle count toward one cap.
     pub(crate) admission: std::sync::Arc<crate::admission::Admission>,
+    /// Lazily-built temporal attribute-value indexes (value → holders),
+    /// kept current incrementally by every mutation below. Clones start
+    /// empty — see `attr_index.rs`.
+    pub(crate) attr_idx: crate::attr_index::AttrIndexCache,
 }
 
 impl Database {
@@ -246,6 +250,7 @@ impl Database {
         };
         self.objects.insert(oid, object);
         self.reindex_refs(oid);
+        self.attridx_on_create(oid);
 
         // Maintain extents: instance of `class`, member of it and of all
         // its superclasses.
@@ -361,12 +366,27 @@ impl Database {
                 value: value.to_string(),
             });
         }
+        // Pre-capture for the attribute-value index: the hooks need the
+        // displaced state, which is gone after the mutation below. Costs
+        // one atomic load when no index is live.
+        let idx_covered = self.attridx_covers(attr);
+        let new_for_idx = idx_covered.then(|| value.clone());
         let object = self.objects.get_mut(&oid).ok_or(ModelError::Internal {
             context: "object vanished between validation and update",
         })?;
         let slot = object.attrs.get_mut(attr).ok_or(ModelError::Internal {
             context: "declared attribute has no slot (slots are initialized at creation)",
         })?;
+        let old_open = if idx_covered && decl.ty.is_temporal() {
+            slot.as_temporal()
+                .and_then(|h| h.entries().last())
+                .filter(|e| e.end.is_now())
+                .map(|e| (e.value.clone(), e.start))
+        } else {
+            None
+        };
+        let old_static =
+            (idx_covered && !decl.ty.is_temporal()).then(|| slot.clone());
         // The reverse-reference index is a union over the whole recorded
         // state, and temporal histories only grow — so the update can be
         // indexed incrementally (O(new value), not O(history)) unless it
@@ -394,6 +414,18 @@ impl Database {
         } else {
             tchimera_obs::counter!("core.refindex.incremental").inc();
             self.refs.add_refs(oid, added);
+        }
+        if let Some(new) = new_for_idx {
+            if decl.ty.is_temporal() {
+                self.attridx_set_temporal(oid, attr, old_open, &new);
+            } else {
+                self.attridx_set_static(
+                    oid,
+                    attr,
+                    old_static.as_ref().unwrap_or(&Value::Null),
+                    &new,
+                );
+            }
         }
         Ok(())
     }
@@ -611,6 +643,9 @@ impl Database {
             self.schema.class_mut(c)?.ext.open(oid, now)?;
         }
         self.reindex_refs(oid);
+        // Migration can drop, convert (static ↔ temporal) or re-initialize
+        // slots: reconcile the attribute-value index from the new state.
+        self.attridx_reconcile(oid);
         Ok(())
     }
 
@@ -619,6 +654,7 @@ impl Database {
     /// closed. The oid and the full recorded history remain queryable.
     pub fn terminate_object(&mut self, oid: Oid) -> Result<()> {
         let now = self.clock;
+        let idx_active = self.attridx_active();
         let object = self
             .objects
             .get_mut(&oid)
@@ -630,8 +666,18 @@ impl Database {
             .lifespan
             .terminated_at(now)
             .ok_or(ModelError::NotInLifespan { at: now })?;
-        for v in object.attrs.values_mut() {
+        // Capture the open runs being closed so the attribute-value index
+        // can mirror the close without rereading histories.
+        let mut closed_runs: Vec<(AttrName, Value, Instant)> = Vec::new();
+        for (name, v) in object.attrs.iter_mut() {
             if let Value::Temporal(h) = v {
+                if idx_active {
+                    if let Some(e) =
+                        h.entries().last().filter(|e| e.end.is_now())
+                    {
+                        closed_runs.push((name.clone(), e.value.clone(), e.start));
+                    }
+                }
                 h.close(now);
             }
         }
@@ -660,6 +706,9 @@ impl Database {
         // No reference reindex: `close(now)` never pops a run (every run
         // starts at or before the clock), and closed histories keep their
         // recorded values — the object's reference set is unchanged.
+        if idx_active && !closed_runs.is_empty() {
+            self.attridx_on_terminate(oid, &closed_runs);
+        }
         Ok(())
     }
 
@@ -760,6 +809,7 @@ impl Database {
         let oid = object.oid;
         self.objects.insert(oid, object);
         self.reindex_refs(oid);
+        self.attridx_reconcile(oid);
     }
 
     /// Reconcile the reverse-reference index with `oid`'s current state.

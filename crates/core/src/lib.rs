@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 mod admission;
+mod attr_index;
 mod capabilities;
 mod class;
 mod consistency;

@@ -15,6 +15,12 @@ use crate::database::Database;
 /// `DESIGN.md` §9 documents each entry; a round-trip test asserts this
 /// list and the documentation stay in sync with the snapshot.
 pub const CORE_METRICS: &[&str] = &[
+    "core.attridx.builds",
+    "core.attridx.evictions",
+    "core.attridx.incremental",
+    "core.attridx.invalidations",
+    "core.attridx.probes",
+    "core.attridx.reconciles",
     "core.check_database",
     "core.check_oid_uniqueness",
     "core.check_refs",

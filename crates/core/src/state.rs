@@ -323,6 +323,7 @@ impl Database {
             next_oid: state.next_oid,
             refs: RefIndex::default(),
             admission: std::sync::Arc::default(),
+            attr_idx: Default::default(),
         };
         let oids: Vec<Oid> = db.objects.keys().copied().collect();
         for oid in oids {

@@ -124,6 +124,9 @@ pub const QUERY_METRICS: &[&str] = &[
     "query.plan.partitions",
     "query.plan.cache.hit",
     "query.plan.cache.miss",
+    "query.plan.index_scans",
+    "query.plan.index_candidates",
+    "query.plan.index_fallbacks",
     "query.governor.active",
     "query.governor.admitted",
     "query.governor.shed",
@@ -147,6 +150,9 @@ pub fn touch_metrics() {
         r.counter("query.plan.partitions");
         r.counter("query.plan.cache.hit");
         r.counter("query.plan.cache.miss");
+        r.counter("query.plan.index_scans");
+        r.counter("query.plan.index_candidates");
+        r.counter("query.plan.index_fallbacks");
         r.gauge("query.governor.active");
         r.counter("query.governor.admitted");
         r.counter("query.governor.shed");

@@ -5,14 +5,19 @@
 //! Execution pipeline:
 //!
 //! 1. fetch each variable's candidate extent (via the extent indexes);
-//! 2. apply pushed-down prefilters per variable;
-//! 3. order variables by (post-prefilter) candidate-set size, preferring
+//! 2. resolve planned equality/membership predicates through the
+//!    temporal attribute-value index (`Database::attr_index_probe`) where
+//!    covered — the probe result is a superset that *narrows* the
+//!    candidates the next step even looks at, falling back to the plain
+//!    scan when uncovered;
+//! 3. apply pushed-down prefilters per variable;
+//! 4. order variables by (post-prefilter) candidate-set size, preferring
 //!    variables hash-joinable to already-placed ones;
-//! 4. build bindings level by level — hash join where an equality
+//! 5. build bindings level by level — hash join where an equality
 //!    conjunct links the new variable to a placed one, nested loop
 //!    otherwise — applying each residual conjunct at the earliest level
 //!    where all its variables are bound;
-//! 5. project surviving bindings, then restore the reference evaluator's
+//! 6. project surviving bindings, then restore the reference evaluator's
 //!    enumeration order (each binding carries its candidate-position
 //!    tuple in declaration order — its "naive key").
 //!
@@ -29,9 +34,12 @@
 //! order than the reference evaluator's left-to-right `AND`, so a query
 //! whose filter *errors* (e.g. reading a static attribute dropped by a
 //! migration) can surface the error from a different binding, or error
-//! where short-circuiting would have hidden it. Queries over total
-//! predicates — everything the typechecker can see — are exactly
-//! equivalent.
+//! where short-circuiting would have hidden it. Index narrowing extends
+//! the same caveat in the opposite direction: candidates the index rules
+//! out are never evaluated at all, so a conjunct that would *error* on
+//! such a candidate under the reference evaluator is skipped. Queries
+//! over total predicates — everything the typechecker can see — are
+//! exactly equivalent.
 
 use std::collections::HashMap;
 
@@ -204,6 +212,11 @@ pub struct ExecOptions {
     /// Resource budget governing this execution (`None` = ungoverned;
     /// the interpreter always attaches one — see `DESIGN.md` §12).
     pub budget: Option<ExecBudget>,
+    /// Seed candidate sets from the temporal attribute-value index where
+    /// the plan recorded an [`crate::plan::IndexPred`] and the index
+    /// covers it (default). Disable to force the pure scan path — rows
+    /// are identical either way; only the candidates examined differ.
+    pub use_index: bool,
 }
 
 impl Default for ExecOptions {
@@ -212,6 +225,7 @@ impl Default for ExecOptions {
             parallel: cfg!(feature = "rayon"),
             partitions: None,
             budget: None,
+            use_index: true,
         }
     }
 }
@@ -229,6 +243,10 @@ pub struct VarStats {
     pub pushed: usize,
     /// Candidates surviving the prefilters.
     pub after: usize,
+    /// `Some(k)` when the attribute-value index seeded this variable's
+    /// candidates: `k` is the size of the index-resolved candidate set
+    /// (before intersecting with the extent). `None` = scan path.
+    pub indexed: Option<usize>,
 }
 
 /// Per-level (variable placement) execution counts for `EXPLAIN`.
@@ -336,8 +354,15 @@ impl Partials {
 
 /// Pick the variable placement order: smallest candidate set first,
 /// preferring variables joined (by an extracted equality) to an already
-/// placed one; ties break toward declaration order.
-fn choose_order(n: usize, sizes: &[usize], joins: &[crate::plan::JoinPred]) -> Vec<usize> {
+/// placed one. Ties on candidate-set size break by *class name* (then
+/// declaration order), so the placement is a deterministic function of
+/// the query and the data — not of incidental declaration shuffles.
+fn choose_order(
+    n: usize,
+    sizes: &[usize],
+    joins: &[crate::plan::JoinPred],
+    vars: &[(ClassId, String)],
+) -> Vec<usize> {
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
     for _ in 0..n {
@@ -353,7 +378,11 @@ fn choose_order(n: usize, sizes: &[usize], joins: &[crate::plan::JoinPred]) -> V
             if placed[v] || (any_connected && !connected(v)) {
                 continue;
             }
-            if best.map_or(true, |b| sizes[v] < sizes[b]) {
+            if best.map_or(true, |b| {
+                sizes[v] < sizes[b]
+                    || (sizes[v] == sizes[b]
+                        && vars[v].0.as_str() < vars[b].0.as_str())
+            }) {
                 best = Some(v);
             }
         }
@@ -643,6 +672,7 @@ pub fn execute_plan(
             extent: oids.len(),
             pushed: plan.prefilters[i].len(),
             after: oids.len(),
+            indexed: None,
         });
         raw.push(oids);
     }
@@ -670,11 +700,56 @@ pub fn execute_plan(
     let meter = opts.budget.as_ref().map(Meter::new);
     let mut charge = Charge::new(meter.as_ref());
 
+    // Index narrowing: resolve each planned equality/membership predicate
+    // through the attribute-value index. A covered probe yields a sorted
+    // superset of the objects that can satisfy the conjunct in the query
+    // window — the scan below then skips everything else, and the
+    // conjunct itself still runs on the survivors (prefilter or level
+    // check), so rows never change. Uncovered probes (no temporal
+    // declaration, unknown class) fall back to the plain scan.
+    let mut allowed: Vec<Option<std::collections::HashSet<Oid>>> = vec![None; n];
+    if opts.use_index && !plan.index_preds.is_empty() {
+        let mut scans = 0u64;
+        let mut fallbacks = 0u64;
+        for p in &plan.index_preds {
+            let probe_window = match p.at {
+                Some(t) => Interval::point(Instant(t)),
+                None => window,
+            };
+            match db.attr_index_probe(&q.vars[p.var].0, &p.attr, &p.values, probe_window) {
+                Some(oids) => {
+                    charge.cost(1 + oids.len() as u64)?;
+                    scans += 1;
+                    tchimera_obs::counter!("query.plan.index_candidates")
+                        .add(oids.len() as u64);
+                    let set: std::collections::HashSet<Oid> = oids.into_iter().collect();
+                    match &mut allowed[p.var] {
+                        Some(prev) => prev.retain(|o| set.contains(o)),
+                        slot => *slot = Some(set),
+                    }
+                }
+                None => fallbacks += 1,
+            }
+        }
+        if scans > 0 {
+            tchimera_obs::counter!("query.plan.index_scans").add(scans);
+        }
+        if fallbacks > 0 {
+            tchimera_obs::counter!("query.plan.index_fallbacks").add(fallbacks);
+        }
+        for (i, a) in allowed.iter().enumerate() {
+            if let Some(set) = a {
+                stats.vars[i].indexed = Some(set.len());
+            }
+        }
+    }
+
     // Prefilter candidates (single-variable queries keep their conjuncts
     // as source-ordered level checks instead — exact naive semantics).
     let mut cands: Vec<Vec<Cand>> = Vec::with_capacity(n);
     for (i, r) in raw.iter().enumerate() {
-        let filtered = prefilter_var(db, plan, i, r, window, now, &mut charge)?;
+        let filtered =
+            prefilter_var(db, plan, i, r, window, now, allowed[i].as_ref(), &mut charge)?;
         stats.vars[i].after = filtered.len();
         cands.push(filtered);
     }
@@ -683,7 +758,7 @@ pub fn execute_plan(
     }
 
     let sizes: Vec<usize> = cands.iter().map(Vec::len).collect();
-    let order = choose_order(n, &sizes, &plan.joins);
+    let order = choose_order(n, &sizes, &plan.joins, &q.vars);
     let needs_sort = order.iter().enumerate().any(|(i, &v)| i != v);
     let levels = build_levels(plan, &order);
     stats.order = order.clone();
@@ -826,6 +901,12 @@ pub fn execute_plan(
 /// propagate); under `DURING` a candidate survives if every conjunct
 /// holds at *some* event point of that object alone — a necessary
 /// condition for the joint existential filter checked later.
+///
+/// `allowed` is the index-resolved candidate set (if any): extent members
+/// outside it are skipped *before* any evaluation or charging — that skip
+/// is the examined-bindings saving the index buys. Positions (`Cand::pos`)
+/// stay relative to the raw extent, so naive row order is preserved.
+#[allow(clippy::too_many_arguments)]
 fn prefilter_var(
     db: &Database,
     plan: &PlannedQuery,
@@ -833,10 +914,11 @@ fn prefilter_var(
     raw: &[Oid],
     window: Interval,
     now: Instant,
+    allowed: Option<&std::collections::HashSet<Oid>>,
     charge: &mut Charge<'_>,
 ) -> Result<Vec<Cand>, EvalError> {
     let pres = &plan.prefilters[i];
-    if pres.is_empty() {
+    if pres.is_empty() && allowed.is_none() {
         return Ok(raw
             .iter()
             .enumerate()
@@ -849,6 +931,13 @@ fn prefilter_var(
     let mut out = Vec::new();
     let mut buf = vec![Oid(0); plan.n];
     for (pos, &oid) in raw.iter().enumerate() {
+        if allowed.is_some_and(|a| !a.contains(&oid)) {
+            continue;
+        }
+        if pres.is_empty() {
+            out.push(Cand { oid, pos: pos as u32 });
+            continue;
+        }
         buf[i] = oid;
         let keep = if plan.during {
             let pts = event_points_oids(db, std::slice::from_ref(&oid), window, now);
@@ -962,6 +1051,155 @@ mod tests {
             assert_eq!(one.rows, par.rows, "{src}");
             assert_eq!(s3.partitions, 3, "{src}");
         }
+    }
+
+    /// `n` employees, 1 in 10 in the rare department, temporal attrs.
+    fn dept_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::new("emp")
+                .attr("dept", Type::temporal(Type::STRING))
+                .attr("v", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        db.advance_to(Instant(1)).unwrap();
+        for i in 0..n {
+            let dept = if i % 10 == 0 { "rare" } else { "common" };
+            db.create_object(
+                &ClassId::from("emp"),
+                attrs([("dept", Value::str(dept)), ("v", Value::Int(i))]),
+            )
+            .unwrap();
+        }
+        db.tick_by(1);
+        db
+    }
+
+    #[test]
+    fn index_narrowing_matches_naive_and_examines_fewer_bindings() {
+        let db = dept_db(100);
+        let q = sel("select x from emp x where x.dept = 'rare'");
+        let plan = plan_select(&q);
+        assert_eq!(plan.index_preds.len(), 1);
+        let on = serial(1);
+        let off = ExecOptions { use_index: false, ..serial(1) };
+        let (r_on, s_on) = execute_plan(&db, &plan, &on).unwrap();
+        let (r_off, s_off) = execute_plan(&db, &plan, &off).unwrap();
+        let naive = eval_select_naive(&db, &q).unwrap();
+        assert_eq!(r_on.rows, naive.rows);
+        assert_eq!(r_off.rows, naive.rows);
+        assert_eq!(r_on.len(), 10);
+        assert_eq!(s_off.bindings, 100, "scan path examines the extent");
+        assert_eq!(s_on.bindings, 10, "index path examines only holders");
+        assert_eq!(s_on.vars[0].indexed, Some(10));
+        assert!(s_off.vars[0].indexed.is_none());
+    }
+
+    #[test]
+    fn membership_or_chain_and_as_of_probe_through_the_index() {
+        let mut db = dept_db(60);
+        // Move one rare employee out at t=2 so AS OF 1 and NOW differ.
+        let moved = db
+            .objects()
+            .find(|o| {
+                o.attr(&AttrName::from("dept"))
+                    .and_then(|v| v.as_temporal())
+                    .and_then(|h| h.value_now(db.now()))
+                    == Some(&Value::str("rare"))
+            })
+            .map(|o| o.oid)
+            .unwrap();
+        db.set_attr(moved, &AttrName::from("dept"), Value::str("gone"))
+            .unwrap();
+        db.tick_by(1);
+        for src in [
+            "select x from emp x where x.dept = 'rare' or x.dept = 'gone'",
+            "select x from emp x as of 1 where x.dept = 'rare'",
+            "select x from emp x during [0, 9] where x.dept = 'gone'",
+            "select x from emp x where x.dept at 1 = 'rare'",
+        ] {
+            let q = sel(src);
+            let plan = plan_select(&q);
+            assert_eq!(plan.index_preds.len(), 1, "{src}");
+            let (r, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+            assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows, "{src}");
+            assert!(stats.vars[0].indexed.is_some(), "{src}");
+        }
+    }
+
+    #[test]
+    fn uncovered_predicates_fall_back_to_the_scan_path() {
+        let db = join_db(); // `v` is a *static* attribute: not covered.
+        let q = sel("select x from a x where x.v = 2");
+        let plan = plan_select(&q);
+        assert_eq!(plan.index_preds.len(), 1, "the shape is recorded");
+        let (r, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows);
+        assert!(stats.vars[0].indexed.is_none(), "static decl ⇒ fallback");
+    }
+
+    #[test]
+    fn index_narrowing_seeds_join_variable_order() {
+        let db = dept_db(80);
+        let q = sel(
+            "select x, y from emp x, emp y \
+             where x.dept = 'rare' and x.v = y.v",
+        );
+        let plan = plan_select(&q);
+        let (r, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows);
+        // The narrowed variable is placed first (8 rare vs 80 extent).
+        assert_eq!(stats.order[0], 0);
+        assert_eq!(stats.vars[0].indexed, Some(8));
+        let (r_off, _) = execute_plan(
+            &db,
+            &plan,
+            &ExecOptions { use_index: false, ..serial(1) },
+        )
+        .unwrap();
+        assert_eq!(r.rows, r_off.rows);
+    }
+
+    #[test]
+    fn explain_renders_index_scan() {
+        let db = dept_db(50);
+        let q = sel("select x from emp x where x.dept = 'rare'");
+        let plan = plan_select(&q);
+        let (_, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        let txt = crate::plan::render_explain(&plan, &stats, false);
+        assert!(txt.contains("IndexScan"), "{txt}");
+        assert!(txt.contains("index->"), "{txt}");
+        // The scan path renders a plain scan.
+        let (_, stats) = execute_plan(
+            &db,
+            &plan,
+            &ExecOptions { use_index: false, ..serial(1) },
+        )
+        .unwrap();
+        let txt = crate::plan::render_explain(&plan, &stats, false);
+        assert!(!txt.contains("IndexScan"), "{txt}");
+    }
+
+    #[test]
+    fn choose_order_breaks_extent_ties_by_class_name() {
+        // Two classes, same extent size: `b…` must be placed before `z…`
+        // whatever the declaration order.
+        let mut db = Database::new();
+        db.define_class(ClassDef::new("zeta").attr("v", Type::INTEGER)).unwrap();
+        db.define_class(ClassDef::new("beta").attr("v", Type::INTEGER)).unwrap();
+        db.advance_to(Instant(1)).unwrap();
+        for i in 0i64..4 {
+            db.create_object(&ClassId::from("zeta"), attrs([("v", Value::Int(i))]))
+                .unwrap();
+            db.create_object(&ClassId::from("beta"), attrs([("v", Value::Int(i))]))
+                .unwrap();
+        }
+        db.tick_by(1);
+        let q = sel("select x, y from zeta x, beta y");
+        let plan = plan_select(&q);
+        let (r, stats) = execute_plan(&db, &plan, &serial(1)).unwrap();
+        assert_eq!(stats.order, vec![1, 0], "beta sorts before zeta");
+        assert_eq!(r.rows, eval_select_naive(&db, &q).unwrap().rows);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub use exec::{execute_plan, ExecOptions, ExecStats};
 pub use governor::{CancelToken, ExecBudget, Progress, Resource};
 pub use interp::{Interpreter, Outcome, QueryError};
 pub use parser::{parse, parse_script, ParseError, ParseErrorKind};
-pub use plan::{plan_select, render_explain, PlanCache, PlannedQuery};
+pub use plan::{plan_select, render_explain, IndexPred, PlanCache, PlannedQuery};
 pub use typecheck::{check_select, TypeError};

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tchimera_core::Schema;
+use tchimera_core::{AttrName, Schema, Value};
 
 use crate::ast::{CmpOp, Expr, Projection, Select, TimeSpec};
 use crate::exec::{CExpr, ExecStats};
@@ -54,6 +54,30 @@ pub struct JoinPred {
     pub whole: CExpr,
     /// Position of the conjunct in the original `WHERE` (left to right).
     pub pos: usize,
+}
+
+/// An equality or membership conjunct over a single variable's attribute
+/// whose candidate set the executor can seed from the temporal
+/// attribute-value index (`Database::attr_index_probe`): `v.attr = lit`,
+/// `v.attr at t = lit`, or an `OR` chain of such shapes over the same
+/// `(var, attr, at)`.
+///
+/// The planner only records the *shape* — whether an index actually
+/// covers the probe (declaration temporal, class known) is decided at
+/// execution time, falling back to the scan path otherwise. The probe is
+/// a necessary condition: the conjunct itself still runs as a prefilter
+/// or residual on the narrowed candidates, so rows are unchanged.
+#[derive(Clone, Debug)]
+pub struct IndexPred {
+    /// Variable index the predicate constrains.
+    pub var: usize,
+    /// The attribute probed.
+    pub attr: AttrName,
+    /// `Some(t)` for `v.attr AT t` (probe the point `t` whatever the
+    /// query scope); `None` probes the query window.
+    pub at: Option<u64>,
+    /// Literal values of the equality (one) or membership disjunction.
+    pub values: Vec<Value>,
 }
 
 /// A conjunct the planner could not push down or turn into a join.
@@ -81,6 +105,9 @@ pub struct PlannedQuery {
     pub prefilters: Vec<Vec<CExpr>>,
     /// Extracted hash-join predicates.
     pub joins: Vec<JoinPred>,
+    /// Conjuncts whose candidates the attribute-value index can seed
+    /// (see [`IndexPred`]); coverage is decided at execution time.
+    pub index_preds: Vec<IndexPred>,
     /// Residual conjuncts (point-scope queries only).
     pub residual: Vec<Residual>,
     /// The whole filter, compiled — evaluated existentially on surviving
@@ -139,6 +166,46 @@ fn analyze(e: &Expr, vars: &[String], used: &mut Vec<bool>, quant: &mut bool) {
     }
 }
 
+/// Recognize the index-answerable shapes: `v.attr = lit` /
+/// `lit = v.attr` (optionally `AT t`), or an `OR` chain of such over the
+/// same `(var, attr, at)` — a membership probe. `null` literals
+/// disqualify the conjunct (the index never stores nulls, and `= null`
+/// has its own comparison semantics).
+fn index_pred_of(e: &Expr, names: &[String]) -> Option<IndexPred> {
+    fn leaf(e: &Expr, names: &[String]) -> Option<IndexPred> {
+        let Expr::Cmp(CmpOp::Eq, l, r) = e else {
+            return None;
+        };
+        let (attr_side, lit) = match (&**l, &**r) {
+            (side, Expr::Lit(lit)) => (side, lit),
+            (Expr::Lit(lit), side) => (side, lit),
+            _ => return None,
+        };
+        let (var, attr, at) = match attr_side {
+            Expr::Attr(v, a) => (v, a, None),
+            Expr::AttrAt(v, a, t) => (v, a, Some(*t)),
+            _ => return None,
+        };
+        let value = lit.to_value();
+        if value.is_null() {
+            return None;
+        }
+        let var = names.iter().position(|n| n == var)?;
+        Some(IndexPred { var, attr: attr.clone(), at, values: vec![value] })
+    }
+    match e {
+        Expr::Or(l, r) => {
+            let mut a = index_pred_of(l, names)?;
+            let b = index_pred_of(r, names)?;
+            (a.var == b.var && a.attr == b.attr && a.at == b.at).then(|| {
+                a.values.extend(b.values);
+                a
+            })
+        }
+        other => leaf(other, names),
+    }
+}
+
 /// Plan a type-checked `SELECT`. Pure function of the AST: candidate-set
 /// sizes (and thus the variable order) are only known at execution time,
 /// so the plan records *what* can be pushed or joined and the executor
@@ -153,6 +220,7 @@ pub fn plan_select(q: &Select) -> PlannedQuery {
     let mut prefilters: Vec<Vec<CExpr>> = vec![Vec::new(); n];
     let mut joins = Vec::new();
     let mut residual = Vec::new();
+    let mut index_preds = Vec::new();
 
     if let Some(filter) = &q.filter {
         let mut conjuncts = Vec::new();
@@ -164,6 +232,17 @@ pub fn plan_select(q: &Select) -> PlannedQuery {
             let cvars: Vec<usize> =
                 (0..n).filter(|&i| used[i]).collect();
             let expr = CExpr::compile(c, &names);
+
+            // Index-answerable equality/membership shapes narrow the
+            // candidate set before any scan, in every scope (a DURING
+            // probe is a necessary condition, rechecked like the other
+            // pushdowns); the conjunct still runs below, so this changes
+            // the candidates examined, never the rows.
+            if !quant && cvars.len() == 1 {
+                if let Some(p) = index_pred_of(c, &names) {
+                    index_preds.push(p);
+                }
+            }
 
             if during {
                 // DURING: pushdown is a sound necessary condition for
@@ -231,6 +310,7 @@ pub fn plan_select(q: &Select) -> PlannedQuery {
         n,
         prefilters,
         joins,
+        index_preds,
         residual,
         full_filter,
         proj_vars,
@@ -340,11 +420,15 @@ pub fn render_explain(plan: &PlannedQuery, stats: &ExecStats, cache_hit: bool) -
     };
     let _ = writeln!(s, "plan ({scope}):");
     for v in &stats.vars {
-        let _ = writeln!(
+        let _ = write!(
             s,
             "  var {}: {}  extent={}  prefilters={} -> {}",
             v.var, v.class, v.extent, v.pushed, v.after
         );
+        if let Some(k) = v.indexed {
+            let _ = write!(s, "  index->{k}");
+        }
+        let _ = writeln!(s);
     }
     let order: Vec<&str> = stats
         .order
@@ -354,7 +438,15 @@ pub fn render_explain(plan: &PlannedQuery, stats: &ExecStats, cache_hit: bool) -
     let _ = writeln!(s, "  order: {}", order.join(", "));
     for l in &stats.levels {
         let name = plan.q.vars[l.var].1.as_str();
-        let kind = if l.hash { "hash-join" } else if l.first { "scan" } else { "nested-loop" };
+        let kind = if l.hash {
+            "hash-join"
+        } else if stats.vars[l.var].indexed.is_some() {
+            "IndexScan"
+        } else if l.first {
+            "scan"
+        } else {
+            "nested-loop"
+        };
         let _ = writeln!(
             s,
             "  {kind} {name}: examined={} out={} checks={}",
@@ -417,6 +509,54 @@ mod tests {
         assert_eq!(p.residual.len(), 1);
         assert_eq!(p.residual[0].vars, vec![0, 1]);
         assert_eq!(p.pushdown_count(), 1);
+    }
+
+    #[test]
+    fn index_pred_detection_covers_eq_membership_and_at_shapes() {
+        let covered = [
+            ("select e from employee e where e.salary = 5", 1, 1),
+            ("select e from employee e where 5 = e.salary", 1, 1),
+            ("select e from employee e where e.salary at 3 = 5", 1, 1),
+            (
+                "select e from employee e where e.salary = 5 or e.salary = 7",
+                1,
+                2,
+            ),
+            (
+                "select e from employee e, manager m \
+                 where e.salary = 5 and m.salary = 7",
+                2,
+                1,
+            ),
+            (
+                "select e from employee e during [1, 9] where e.salary = 5",
+                1,
+                1,
+            ),
+        ];
+        for (src, preds, values) in covered {
+            let p = plan_select(&sel(src));
+            assert_eq!(p.index_preds.len(), preds, "{src}");
+            assert_eq!(p.index_preds[0].values.len(), values, "{src}");
+        }
+        let uncovered = [
+            // Not an equality.
+            "select e from employee e where e.salary > 5",
+            // Null literal: the index never stores nulls.
+            "select e from employee e where e.salary = null",
+            // OR over different attributes is not a membership probe.
+            "select e from employee e where e.salary = 5 or e.grade = 1",
+            // OR mixing `AT` instants.
+            "select e from employee e where e.salary at 1 = 5 or e.salary = 5",
+            // Quantified conjuncts scope over the whole binding.
+            "select e from employee e where sometime(e.salary = 5)",
+            // Two-variable equality is a join, not an index probe.
+            "select e from employee e, manager m where e.salary = m.salary",
+        ];
+        for src in uncovered {
+            let p = plan_select(&sel(src));
+            assert!(p.index_preds.is_empty(), "{src}");
+        }
     }
 
     #[test]

@@ -196,6 +196,40 @@ fn build_query(
     Select { projections, vars, time, filter, order, limit }
 }
 
+/// Regression: when two classes tie on extent size, the candidate order
+/// must not depend on declaration order or hash iteration — ties break
+/// deterministically by class name.
+#[test]
+fn extent_size_ties_order_by_class_name() {
+    let mut db = Database::new();
+    // Declare the lexicographically *larger* class first so a
+    // declaration-order tie-break would pick the wrong variable.
+    db.define_class(ClassDef::new("zeta").attr("a", Type::temporal(Type::INTEGER))).unwrap();
+    db.define_class(ClassDef::new("beta").attr("a", Type::temporal(Type::INTEGER))).unwrap();
+    db.advance_to(Instant(1)).unwrap();
+    for i in 0..5 {
+        db.create_object(&ClassId::from("zeta"), attrs([("a", Value::Int(i))])).unwrap();
+        db.create_object(&ClassId::from("beta"), attrs([("a", Value::Int(i))])).unwrap();
+    }
+    db.tick_by(1);
+    let q = Select {
+        projections: vec![("x".to_owned(), Projection::Var)],
+        vars: vec![
+            (ClassId::from("zeta"), "x".to_owned()),
+            (ClassId::from("beta"), "y".to_owned()),
+        ],
+        time: TimeSpec::Now,
+        filter: None,
+        order: None,
+        limit: None,
+    };
+    let plan = plan_select(&q);
+    for _ in 0..8 {
+        let (_, stats) = execute_plan(&db, &plan, &ExecOptions::default()).unwrap();
+        assert_eq!(stats.order, vec![1, 0], "tie must resolve to 'beta' before 'zeta'");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 

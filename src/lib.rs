@@ -58,3 +58,13 @@ pub use tchimera_storage::{
 #[doc = include_str!("../README.md")]
 #[cfg(doctest)]
 pub struct ReadmeDoctests;
+
+/// The TCQL reference's code examples, compile-checked as doctests.
+#[doc = include_str!("../docs/TCQL.md")]
+#[cfg(doctest)]
+pub struct TcqlDoctests;
+
+/// The architecture tour's code examples, compile-checked as doctests.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+#[cfg(doctest)]
+pub struct ArchitectureDoctests;

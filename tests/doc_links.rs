@@ -1,0 +1,102 @@
+//! Checks that every relative Markdown link in the repo's documentation
+//! resolves to a real file, so doc reorganizations cannot leave dangling
+//! references. External (`http`/`https`) links and pure `#anchor` links
+//! are out of scope; a `path#anchor` link is checked for the path part
+//! only.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Documents whose relative links must resolve. Paths are relative to
+/// the workspace root (the umbrella crate's manifest directory).
+const DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/TCQL.md",
+];
+
+/// Extracts inline Markdown link targets `](target)` from one line.
+/// Good enough for the repo's hand-written docs: targets never contain
+/// parentheses or spaces.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("listed doc {doc} must exist: {e}"));
+        let base = path.parent().unwrap_or(Path::new("."));
+
+        let mut in_code_fence = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_fence = !in_code_fence;
+                continue;
+            }
+            if in_code_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with('#')
+                    || target.starts_with("mailto:")
+                    || target.is_empty()
+                {
+                    continue;
+                }
+                let file_part = target.split('#').next().unwrap();
+                if !base.join(file_part).exists() {
+                    broken.push(format!("{doc}:{}: {target}", lineno + 1));
+                }
+            }
+        }
+    }
+
+    assert!(
+        broken.is_empty(),
+        "broken relative doc links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn doc_list_is_current() {
+    // If someone adds a new top-level guide under docs/, it must join
+    // the checked set above.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for entry in fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().into_string().unwrap();
+        if name.ends_with(".md") {
+            let rel = format!("docs/{name}");
+            assert!(
+                DOCS.contains(&rel.as_str()),
+                "{rel} is not in the doc_links checked set — add it to DOCS"
+            );
+        }
+    }
+}
