@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E13, E15–E17) and prints them as Markdown.
+//! (E1–E13, E15–E19) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -71,6 +71,9 @@ fn main() {
     }
     if want("E18") {
         e18_attridx();
+    }
+    if want("E19") {
+        e19_replication();
     }
 }
 
@@ -912,4 +915,89 @@ fn e18_attridx() {
         );
     }
     println!();
+}
+
+// ---------------------------------------------------------------------
+// E19 — log-shipping replication
+// ---------------------------------------------------------------------
+
+fn e19_replication() {
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use tchimera_storage::repl::{Primary, Replica, SimNetConfig, SimTransport};
+    use tchimera_storage::{PersistentDatabase, SimFs, Vfs};
+
+    header("E19", "Log-shipping replication: ship, lag, catch-up");
+
+    let open = |name: &str| -> PersistentDatabase {
+        let vfs: Arc<dyn Vfs> = Arc::new(SimFs::new());
+        let mut pdb = PersistentDatabase::open_with(vfs, &PathBuf::from(name)).unwrap();
+        pdb.define_class(
+            ClassDef::new("employee").attr("salary", Type::temporal(Type::INTEGER)),
+        )
+        .unwrap();
+        pdb.advance_to(Instant(1)).unwrap();
+        pdb
+    };
+    let drive = |pdb: &mut PersistentDatabase, i: usize, last: &mut u64| match i % 8 {
+        0 => {
+            let t = Instant(pdb.db().now().ticks() + 1);
+            pdb.advance_to(t).unwrap();
+        }
+        1 | 5 => {
+            *last = pdb
+                .create_object(
+                    &ClassId::from("employee"),
+                    attrs([("salary", Value::Int(i as i64))]),
+                )
+                .unwrap()
+                .0;
+        }
+        _ => {
+            pdb.set_attr(Oid(*last), &"salary".into(), Value::Int(i as i64))
+                .unwrap();
+        }
+    };
+    fn drain(p: &mut Primary<SimTransport>, r: &mut Replica<SimTransport>) -> usize {
+        for round in 1..=10_000 {
+            p.pump().unwrap();
+            r.pump().unwrap();
+            if r.lag() == 0 && r.applied() == p.db().op_count() as u64 {
+                return round;
+            }
+        }
+        panic!("replica failed to converge");
+    }
+
+    const OPS: usize = 1_000;
+    println!("| link ({OPS} ops, pump per op) | wall | ops/s | max lag | drain rounds | converged |");
+    println!("|---|---|---|---|---|---|");
+    for (name, cfg, seed) in [
+        ("clean", SimNetConfig::clean(), 1u64),
+        ("hostile (drop/dup/reorder/delay/corrupt)", SimNetConfig::hostile(), 7),
+    ] {
+        let (pt, rt) = SimTransport::pair(seed, cfg);
+        let mut primary = Primary::new(open("e19-p.log"), 1, pt);
+        let mut replica = Replica::new(open("e19-r.log"), rt);
+        let mut last = 0u64;
+        let mut max_lag = 0u64;
+        let start = std::time::Instant::now();
+        for i in 0..OPS {
+            drive(primary.db(), i, &mut last);
+            primary.pump().unwrap();
+            replica.pump().unwrap();
+            max_lag = max_lag.max(replica.lag());
+        }
+        let rounds = drain(&mut primary, &mut replica);
+        let wall = start.elapsed().as_nanos() as f64;
+        let converged =
+            replica.db_ref().state_digest() == primary.db_ref().state_digest();
+        assert!(converged && replica.halted().is_none());
+        println!(
+            "| {name} | {} | {:.0} | {max_lag} | {rounds} | {converged} |",
+            fmt_ns(wall),
+            OPS as f64 / (wall / 1e9),
+        );
+    }
+    println!("\n(Full sweep incl. snapshot catch-up: `cargo run --release -p tchimera-bench --bin repl` → `BENCH_repl.json`.)\n");
 }

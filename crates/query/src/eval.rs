@@ -133,6 +133,7 @@ pub const QUERY_METRICS: &[&str] = &[
     "query.governor.budget_exceeded",
     "query.governor.cancelled",
     "query.panic.count",
+    "query.replica.refused_writes",
 ];
 
 /// Register every query metric (at zero) so snapshots always carry the
@@ -159,6 +160,7 @@ pub fn touch_metrics() {
         r.counter("query.governor.budget_exceeded");
         r.counter("query.governor.cancelled");
         r.counter("query.panic.count");
+        r.counter("query.replica.refused_writes");
     });
 }
 

@@ -53,6 +53,13 @@ pub enum QueryError {
     /// The evaluator panicked; the panic was caught at the query API and
     /// the engine keeps serving.
     Internal(String),
+    /// A mutating statement reached a read-only session (a
+    /// [`ReplicaSession`](crate::replica::ReplicaSession) serving a
+    /// follower's database).
+    ReadOnly {
+        /// The statement kind that was refused.
+        stmt: &'static str,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -74,6 +81,10 @@ impl fmt::Display for QueryError {
                 "overloaded: {active} queries already running (cap {cap}); retry later"
             ),
             QueryError::Internal(msg) => write!(f, "internal query error: {msg}"),
+            QueryError::ReadOnly { stmt } => write!(
+                f,
+                "read-only session: {stmt} is a mutating statement; run it on the primary"
+            ),
         }
     }
 }
@@ -244,43 +255,7 @@ impl Interpreter {
         &self,
         plan: &PlannedQuery,
     ) -> Result<(QueryResult, ExecStats), QueryError> {
-        let gate = self.db.admission();
-        let Some(_permit) = gate.try_enter() else {
-            return Err(QueryError::Overloaded {
-                active: gate.active(),
-                cap: gate.cap(),
-            });
-        };
-        let opts = ExecOptions {
-            budget: Some(self.budget.clone()),
-            ..ExecOptions::default()
-        };
-        // The shield: `execute_plan` reads shared state only (&Database),
-        // so observing it after a caught unwind is sound; the permit's
-        // Drop still runs, nothing is poisoned, and the engine serves the
-        // next statement.
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_plan(&self.db, plan, &opts)
-        }));
-        match caught {
-            Ok(Ok(out)) => Ok(out),
-            Ok(Err(e)) => {
-                match &e {
-                    EvalError::Budget { .. } => {
-                        tchimera_obs::counter!("query.governor.budget_exceeded").inc()
-                    }
-                    EvalError::Cancelled { .. } => {
-                        tchimera_obs::counter!("query.governor.cancelled").inc()
-                    }
-                    _ => {}
-                }
-                Err(e.into())
-            }
-            Err(payload) => {
-                tchimera_obs::counter!("query.panic.count").inc();
-                Err(QueryError::Internal(panic_message(payload)))
-            }
-        }
+        governed_query(&self.db, &self.budget, plan)
     }
 
     /// Parse, type-check and execute a single statement.
@@ -350,74 +325,116 @@ impl Interpreter {
                 let (_table, stats) = self.governed_query(&plan)?;
                 Outcome::Explain(render_explain(&plan, &stats, hit))
             }
-            Stmt::ShowClass(c) => {
-                let class = self.db.class(&c)?;
-                let mut s = format!(
-                    "class {} ({:?}), lifespan {}\n",
-                    class.id, class.kind, class.lifespan
-                );
-                if !class.superclasses.is_empty() {
-                    let sups: Vec<&str> =
-                        class.superclasses.iter().map(|c| c.as_str()).collect();
-                    s.push_str(&format!("  under: {}\n", sups.join(", ")));
-                }
-                for (n, d) in &class.all_attrs {
-                    let own = if class.own_attrs.contains_key(n) { "" } else { " (inherited)" };
-                    let imm = if d.immutable { " immutable" } else { "" };
-                    s.push_str(&format!("  {n}: {}{imm}{own}\n", d.ty));
-                }
-                for (n, m) in &class.all_methods {
-                    let ins: Vec<String> = m.inputs.iter().map(|t| t.to_string()).collect();
-                    s.push_str(&format!("  method {n}({}): {}\n", ins.join(","), m.output));
-                }
-                for (n, d) in &class.c_attrs {
-                    s.push_str(&format!("  c-attribute {n}: {}\n", d.ty));
-                }
-                for (n, m) in &class.c_methods {
-                    let ins: Vec<String> = m.inputs.iter().map(|t| t.to_string()).collect();
-                    s.push_str(&format!("  c-operation {n}({}): {}\n", ins.join(","), m.output));
-                }
-                Outcome::ClassInfo(s)
-            }
+            Stmt::ShowClass(c) => Outcome::ClassInfo(describe_class(&self.db, &c)?),
             Stmt::CheckConsistency => Outcome::Consistency(self.db.check_database()),
             Stmt::CheckInvariants => Outcome::Invariants(self.db.check_invariants()),
             Stmt::Compare { a, b } => {
                 Outcome::Equality(self.db.strongest_equality(Oid(a), Oid(b))?)
             }
             Stmt::CheckConstraint(spec) => {
-                let constraint = match spec {
-                    ConstraintSpec::Covered(class, attr) => Constraint::Covered { class, attr },
-                    ConstraintSpec::NonDecreasing(class, attr) => {
-                        Constraint::NonDecreasing { class, attr }
-                    }
-                    ConstraintSpec::Constant(class, attr) => {
-                        Constraint::ConstantHistory { class, attr }
-                    }
-                    ConstraintSpec::NeverNull(class, attr) => {
-                        Constraint::NeverNull { class, attr }
-                    }
-                    ConstraintSpec::Range {
-                        class,
-                        attr,
-                        min,
-                        max,
-                        always,
-                    } => Constraint::InRange {
-                        class,
-                        attr,
-                        min: min.to_value(),
-                        max: max.to_value(),
-                        quantifier: if always {
-                            Quantifier::Always
-                        } else {
-                            Quantifier::Sometime
-                        },
-                    },
-                };
-                Outcome::Constraint(self.db.check_constraint(&constraint))
+                Outcome::Constraint(self.db.check_constraint(&constraint_of(spec)))
             }
         })
     }
+}
+
+/// Run a planned query under the full governor: admission control
+/// against the database's concurrent-query cap, budget metering, and a
+/// panic shield. Shared by [`Interpreter`] and
+/// [`ReplicaSession`](crate::replica::ReplicaSession) so both front
+/// doors enforce the identical policy.
+pub(crate) fn governed_query(
+    db: &Database,
+    budget: &ExecBudget,
+    plan: &PlannedQuery,
+) -> Result<(QueryResult, ExecStats), QueryError> {
+    let gate = db.admission();
+    let Some(_permit) = gate.try_enter() else {
+        return Err(QueryError::Overloaded {
+            active: gate.active(),
+            cap: gate.cap(),
+        });
+    };
+    let opts = ExecOptions {
+        budget: Some(budget.clone()),
+        ..ExecOptions::default()
+    };
+    // The shield: `execute_plan` reads shared state only (&Database),
+    // so observing it after a caught unwind is sound; the permit's
+    // Drop still runs, nothing is poisoned, and the engine serves the
+    // next statement.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_plan(db, plan, &opts)
+    }));
+    match caught {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(e)) => {
+            match &e {
+                EvalError::Budget { .. } => {
+                    tchimera_obs::counter!("query.governor.budget_exceeded").inc()
+                }
+                EvalError::Cancelled { .. } => {
+                    tchimera_obs::counter!("query.governor.cancelled").inc()
+                }
+                _ => {}
+            }
+            Err(e.into())
+        }
+        Err(payload) => {
+            tchimera_obs::counter!("query.panic.count").inc();
+            Err(QueryError::Internal(panic_message(payload)))
+        }
+    }
+}
+
+/// Lower a parsed constraint spec to the model-level [`Constraint`].
+pub(crate) fn constraint_of(spec: ConstraintSpec) -> Constraint {
+    match spec {
+        ConstraintSpec::Covered(class, attr) => Constraint::Covered { class, attr },
+        ConstraintSpec::NonDecreasing(class, attr) => Constraint::NonDecreasing { class, attr },
+        ConstraintSpec::Constant(class, attr) => Constraint::ConstantHistory { class, attr },
+        ConstraintSpec::NeverNull(class, attr) => Constraint::NeverNull { class, attr },
+        ConstraintSpec::Range { class, attr, min, max, always } => Constraint::InRange {
+            class,
+            attr,
+            min: min.to_value(),
+            max: max.to_value(),
+            quantifier: if always { Quantifier::Always } else { Quantifier::Sometime },
+        },
+    }
+}
+
+/// Render the `SHOW CLASS` description (shared by both session kinds).
+pub(crate) fn describe_class(
+    db: &Database,
+    c: &tchimera_core::ClassId,
+) -> Result<String, QueryError> {
+    let class = db.class(c)?;
+    let mut s = format!(
+        "class {} ({:?}), lifespan {}\n",
+        class.id, class.kind, class.lifespan
+    );
+    if !class.superclasses.is_empty() {
+        let sups: Vec<&str> = class.superclasses.iter().map(|c| c.as_str()).collect();
+        s.push_str(&format!("  under: {}\n", sups.join(", ")));
+    }
+    for (n, d) in &class.all_attrs {
+        let own = if class.own_attrs.contains_key(n) { "" } else { " (inherited)" };
+        let imm = if d.immutable { " immutable" } else { "" };
+        s.push_str(&format!("  {n}: {}{imm}{own}\n", d.ty));
+    }
+    for (n, m) in &class.all_methods {
+        let ins: Vec<String> = m.inputs.iter().map(|t| t.to_string()).collect();
+        s.push_str(&format!("  method {n}({}): {}\n", ins.join(","), m.output));
+    }
+    for (n, d) in &class.c_attrs {
+        s.push_str(&format!("  c-attribute {n}: {}\n", d.ty));
+    }
+    for (n, m) in &class.c_methods {
+        let ins: Vec<String> = m.inputs.iter().map(|t| t.to_string()).collect();
+        s.push_str(&format!("  c-operation {n}({}): {}\n", ins.join(","), m.output));
+    }
+    Ok(s)
 }
 
 /// Best-effort text of a caught panic payload.

@@ -32,6 +32,7 @@ pub mod governor;
 pub mod interp;
 pub mod parser;
 pub mod plan;
+pub mod replica;
 pub mod token;
 pub mod typecheck;
 
@@ -44,4 +45,5 @@ pub use governor::{CancelToken, ExecBudget, Progress, Resource};
 pub use interp::{Interpreter, Outcome, QueryError};
 pub use parser::{parse, parse_script, ParseError, ParseErrorKind};
 pub use plan::{plan_select, render_explain, IndexPred, PlanCache, PlannedQuery};
+pub use replica::ReplicaSession;
 pub use typecheck::{check_select, TypeError};

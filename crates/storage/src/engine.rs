@@ -29,10 +29,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use tchimera_core::{
-    AttrName, Attrs, ClassDef, ClassId, Database, Instant, ModelError, Oid, StateError, Value,
+    AttrName, Attrs, ClassDef, ClassId, Database, DatabaseState, Instant, ModelError, Oid,
+    StateError, Value,
 };
 
-use crate::log::{LogError, OpLog};
+use crate::log::{LogError, LogScan, OpLog};
 use crate::op::{Operation, ReplayError};
 use crate::resilience::{retry, BreakerState, CircuitBreaker, FaultKind, RetryPolicy};
 use crate::snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
@@ -363,6 +364,15 @@ impl PersistentDatabase {
             (Database::new(), 0)
         } else {
             let snap = self.load_own_snapshot()?;
+            if (snap.ops_covered as usize) < base {
+                // A stale snapshot behind the compaction horizon cannot
+                // reconstruct anything: the gap between it and the log's
+                // first record was compacted away. Refuse with a typed
+                // error rather than underflowing the skip count.
+                return Err(EngineError::Snapshot(SnapshotError::Corrupt(
+                    "snapshot behind the compaction horizon",
+                )));
+            }
             let covered = snap.ops_covered as usize;
             if k < covered {
                 return Err(EngineError::Compacted {
@@ -644,6 +654,68 @@ impl PersistentDatabase {
         self.breaker.note_success();
         self.recovered_ops = total as usize;
         Ok(())
+    }
+
+    // -- replication support -----------------------------------------------
+
+    /// Apply one operation received from a replication stream: validate it
+    /// through the same [`Operation::apply`] path recovery uses, then
+    /// append it to this node's own log so the replica is independently
+    /// durable. A `Txn` record applies atomically, exactly as it did on
+    /// the primary. On append failure the live state is re-aligned with
+    /// durable history (same rollback discipline as local writes).
+    pub fn apply_replicated(&mut self, op: &Operation) -> Result<(), EngineError> {
+        self.guard_writes()?;
+        op.apply(&mut self.db)?;
+        self.append_with_retry(op).map_err(|e| {
+            self.rollback_divergence();
+            e
+        })
+    }
+
+    /// Install a full state image shipped by a primary whose log prefix
+    /// has been compacted away: verify the image against the shipped
+    /// digest, persist it as this node's own snapshot, compact the local
+    /// log to `ops_covered`, and adopt the image as the live state. After
+    /// success [`PersistentDatabase::op_count`] equals `ops_covered` and
+    /// subsequent replicated ops append to the (now empty) log suffix.
+    pub fn install_snapshot_image(
+        &mut self,
+        state: DatabaseState,
+        ops_covered: u64,
+        digest: u64,
+    ) -> Result<(), EngineError> {
+        self.guard_writes()?;
+        let db = Database::import_state(state)?;
+        if digest_database(&db) != digest {
+            return Err(EngineError::Snapshot(SnapshotError::Corrupt(
+                "shipped state image does not match its digest",
+            )));
+        }
+        let image = db.export_state();
+        if let Err(e) = write_snapshot(&self.vfs, &self.snap_path, &image, ops_covered, digest) {
+            self.breaker.note_failure();
+            return Err(EngineError::Snapshot(e));
+        }
+        if let Err(e) = self.log.compact_to(ops_covered) {
+            self.breaker.note_failure();
+            return Err(EngineError::Log(e));
+        }
+        self.breaker.note_success();
+        self.db = db;
+        self.recovered_ops = ops_covered as usize;
+        self.diverged = false;
+        Ok(())
+    }
+
+    /// Read-only scan of this node's log (durable bytes plus buffered
+    /// appends), decoding every intact frame after the compaction header.
+    /// Used by a replication primary to re-read records for shipping; the
+    /// scan never fails on damage — torn or corrupt tails are reported in
+    /// the returned [`LogScan`], not raised.
+    pub fn scan_log(&self) -> Result<LogScan, EngineError> {
+        let buf = self.vfs.read(self.log.path()).map_err(LogError::from)?;
+        Ok(OpLog::scan_bytes(&buf))
     }
 
     // -- mirrored mutations ------------------------------------------------

@@ -30,6 +30,11 @@
 //! * [`index`] — [`index::IntervalTree`] and [`index::TemporalIndex`] for
 //!   `O(log n + k)` time-travel queries (who existed / was a member at
 //!   `t`?).
+//! * [`repl`] — log-shipping replication: a [`repl::Primary`] streams
+//!   CRC-framed log records (and full state images past compaction) over
+//!   a pluggable [`repl::Transport`] to a digest-verified
+//!   [`repl::Replica`], with deterministic term-based failover and a
+//!   seedable fault-injecting [`repl::SimTransport`].
 //! * [`observability`] — the storage half of the metric vocabulary
 //!   (`storage.log.*`, `storage.snapshot.*`, `storage.recovery.*`, …)
 //!   registered eagerly so snapshots always name it; see `DESIGN.md` §9.
@@ -43,6 +48,7 @@ pub mod index;
 pub mod log;
 pub mod observability;
 pub mod op;
+pub mod repl;
 pub mod resilience;
 pub mod snapshot;
 pub mod txn;
@@ -52,8 +58,12 @@ pub use codec::{Codec, CodecError, Reader};
 pub use engine::{digest_database, snapshot_path, EngineConfig, EngineError, PersistentDatabase};
 pub use index::{IntervalTree, TemporalIndex};
 pub use log::{DamageReason, LogError, LogScan, OpLog, TailDamage};
-pub use observability::{touch_metrics, STORAGE_METRICS};
+pub use observability::{touch_metrics, REPL_METRICS, STORAGE_METRICS};
 pub use op::{Operation, ReplayError};
+pub use repl::{
+    ChannelTransport, Frame, Primary, Replica, ReplicaError, SimNetConfig, SimTransport,
+    Transport, WireError,
+};
 pub use resilience::{BreakerState, CircuitBreaker, FaultKind, RetryPolicy};
 pub use snapshot::{load_snapshot, write_snapshot, Snapshot, SnapshotError};
 pub use txn::Transaction;

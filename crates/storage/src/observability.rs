@@ -47,6 +47,28 @@ pub const STORAGE_METRICS: &[&str] = &[
     "storage.txn.rollbacks",
 ];
 
+/// Every replication metric name, sorted. Registered alongside
+/// [`STORAGE_METRICS`] (the `repl` module lives in this crate) but kept
+/// as its own vocabulary: these names are documented in `DESIGN.md` §9.4.
+pub const REPL_METRICS: &[&str] = &[
+    "repl.catchup.requests",
+    "repl.digest.checks",
+    "repl.digest.mismatches",
+    "repl.frames.corrupt",
+    "repl.frames.dropped",
+    "repl.frames.duplicated",
+    "repl.frames.recv",
+    "repl.frames.reordered",
+    "repl.frames.sent",
+    "repl.ops.applied",
+    "repl.ops.shipped",
+    "repl.promotions",
+    "repl.replica.lag",
+    "repl.snapshot.ships",
+    "repl.stale_reads.refused",
+    "repl.term",
+];
+
 /// Span names: registered as latency histograms rather than counters.
 const SPANS: &[&str] = &[
     "storage.engine.checkpoint",
@@ -59,8 +81,10 @@ const SPANS: &[&str] = &[
 
 /// Gauge names: registered as gauges rather than counters.
 /// `storage.breaker.state` encodes the breaker state machine
-/// (0 = closed, 1 = half-open, 2 = open).
-const GAUGES: &[&str] = &["storage.breaker.state"];
+/// (0 = closed, 1 = half-open, 2 = open); `repl.replica.lag` is the
+/// replica's distance behind the primary head and `repl.term` the
+/// node's current replication term.
+const GAUGES: &[&str] = &["repl.replica.lag", "repl.term", "storage.breaker.state"];
 
 /// Register every storage metric with the global registry at zero.
 ///
@@ -70,7 +94,7 @@ pub fn touch_metrics() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let reg = tchimera_obs::registry();
-        for name in STORAGE_METRICS {
+        for name in STORAGE_METRICS.iter().chain(REPL_METRICS) {
             if SPANS.contains(name) {
                 reg.histogram(name);
             } else if GAUGES.contains(name) {
@@ -110,9 +134,23 @@ mod tests {
 
     #[test]
     fn vocabulary_is_sorted_and_unique() {
-        let mut sorted = STORAGE_METRICS.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted, STORAGE_METRICS);
+        for vocab in [STORAGE_METRICS, REPL_METRICS] {
+            let mut sorted = vocab.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, vocab);
+        }
+    }
+
+    #[test]
+    fn repl_vocabulary_is_registered() {
+        touch_metrics();
+        let snap = tchimera_obs::snapshot();
+        for name in REPL_METRICS {
+            assert!(snap.contains(name), "missing metric {name}");
+        }
+        assert!(snap.gauge("repl.replica.lag").is_some());
+        assert!(snap.gauge("repl.term").is_some());
+        assert!(snap.counter("repl.ops.shipped").is_some());
     }
 }

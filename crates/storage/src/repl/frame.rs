@@ -1,0 +1,268 @@
+//! The replication wire vocabulary.
+//!
+//! Every message exchanged between a [`Primary`](crate::repl::Primary)
+//! and a [`Replica`](crate::repl::Replica) is one [`Frame`], wire-framed
+//! exactly like a log record — `[len: u32 LE][crc32: u32 LE][payload]`,
+//! CRC over the payload — so a transport that flips a bit, truncates a
+//! message or delivers garbage is *detected* at the receiver, never
+//! replayed into a database. Every frame carries the sender's **term**
+//! (a monotonic epoch bumped by each promotion): a node that hears a
+//! higher term than its own knows it has been superseded, which is the
+//! whole split-brain refusal mechanism.
+
+use crate::codec::{read_u64, write_u64, Codec, CodecError, Reader};
+use crate::log::crc32;
+use crate::op::Operation;
+
+/// Hard cap on a decoded wire frame's payload (64 MiB): a corrupt length
+/// prefix must not drive an allocation.
+const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One replication message.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A run of log records starting at global operation index `start`
+    /// (0-based; `start` = number of operations preceding the first one
+    /// here). When `commit_digest` is set, the batch is the last of a
+    /// shipment and the digest is the primary's `state_digest()` after
+    /// the final record — the replica verifies it once aligned.
+    Batch {
+        /// Sender's replication term.
+        term: u64,
+        /// Global index of the first operation in `ops`.
+        start: u64,
+        /// The shipped operations, in log order.
+        ops: Vec<Operation>,
+        /// Primary state digest after the last op, when this batch ends a
+        /// shipment at the primary's current head.
+        commit_digest: Option<u64>,
+    },
+    /// A full state image for a follower whose resume point was compacted
+    /// away on the primary: the serialized `DatabaseState` covering the
+    /// first `ops_covered` operations, plus the digest it must hash to.
+    Snapshot {
+        /// Sender's replication term.
+        term: u64,
+        /// Operations folded into the image.
+        ops_covered: u64,
+        /// `digest_database` of the image.
+        digest: u64,
+        /// Codec-encoded `DatabaseState`.
+        state: Vec<u8>,
+    },
+    /// Periodic primary → replica beacon: the primary's current operation
+    /// count and state digest. Lets a replica detect lost frames (it is
+    /// behind `total`) and verify its digest when exactly aligned.
+    Heartbeat {
+        /// Sender's replication term.
+        term: u64,
+        /// Primary's total committed operation count.
+        total: u64,
+        /// Primary's `state_digest()` at `total`.
+        digest: u64,
+    },
+    /// Replica → primary acknowledgement: `applied` operations are
+    /// applied *and appended to the replica's own log* (the replica is
+    /// independently durable up to its last sync).
+    Ack {
+        /// Sender's replication term.
+        term: u64,
+        /// Replica's applied watermark.
+        applied: u64,
+    },
+    /// Replica → primary resend request: ship again from global index
+    /// `from` (a gap, corrupt frame, or post-crash rewind was detected).
+    CatchUp {
+        /// Sender's replication term.
+        term: u64,
+        /// Global index to resume shipping from.
+        from: u64,
+    },
+}
+
+impl Frame {
+    /// The sender's term stamped into this frame.
+    pub fn term(&self) -> u64 {
+        match self {
+            Frame::Batch { term, .. }
+            | Frame::Snapshot { term, .. }
+            | Frame::Heartbeat { term, .. }
+            | Frame::Ack { term, .. }
+            | Frame::CatchUp { term, .. } => *term,
+        }
+    }
+
+    /// Encode into a checksummed wire frame (`[len][crc32][payload]`).
+    pub fn to_wire(&self) -> Vec<u8> {
+        let payload = self.to_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a checksummed wire frame, rejecting any damage: truncated
+    /// header or payload, trailing bytes, checksum mismatch, or a
+    /// CRC-valid but undecodable payload.
+    pub fn from_wire(buf: &[u8]) -> Result<Frame, WireError> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN || buf.len() - 8 != len {
+            return Err(WireError::Truncated);
+        }
+        let payload = &buf[8..];
+        if crc32(payload) != crc {
+            return Err(WireError::ChecksumMismatch);
+        }
+        Frame::from_bytes(payload).map_err(WireError::Decode)
+    }
+}
+
+impl Codec for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Batch { term, start, ops, commit_digest } => {
+                out.push(0);
+                write_u64(out, *term);
+                write_u64(out, *start);
+                ops.encode(out);
+                commit_digest.encode(out);
+            }
+            Frame::Snapshot { term, ops_covered, digest, state } => {
+                out.push(1);
+                write_u64(out, *term);
+                write_u64(out, *ops_covered);
+                write_u64(out, *digest);
+                write_u64(out, state.len() as u64);
+                out.extend_from_slice(state);
+            }
+            Frame::Heartbeat { term, total, digest } => {
+                out.push(2);
+                write_u64(out, *term);
+                write_u64(out, *total);
+                write_u64(out, *digest);
+            }
+            Frame::Ack { term, applied } => {
+                out.push(3);
+                write_u64(out, *term);
+                write_u64(out, *applied);
+            }
+            Frame::CatchUp { term, from } => {
+                out.push(4);
+                write_u64(out, *term);
+                write_u64(out, *from);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.byte()? {
+            0 => Frame::Batch {
+                term: read_u64(r)?,
+                start: read_u64(r)?,
+                ops: Vec::<Operation>::decode(r)?,
+                commit_digest: Option::<u64>::decode(r)?,
+            },
+            1 => {
+                let term = read_u64(r)?;
+                let ops_covered = read_u64(r)?;
+                let digest = read_u64(r)?;
+                let n = read_u64(r)? as usize;
+                if n > r.remaining() {
+                    return Err(CodecError::Corrupt("snapshot length prefix"));
+                }
+                let mut state = vec![0u8; n];
+                for b in state.iter_mut() {
+                    *b = r.byte()?;
+                }
+                Frame::Snapshot { term, ops_covered, digest, state }
+            }
+            2 => Frame::Heartbeat {
+                term: read_u64(r)?,
+                total: read_u64(r)?,
+                digest: read_u64(r)?,
+            },
+            3 => Frame::Ack { term: read_u64(r)?, applied: read_u64(r)? },
+            4 => Frame::CatchUp { term: read_u64(r)?, from: read_u64(r)? },
+            tag => return Err(CodecError::InvalidTag { what: "repl frame", tag }),
+        })
+    }
+}
+
+/// Why a received wire frame was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The buffer is shorter than its header claims (or has trailing
+    /// bytes / an absurd length prefix).
+    Truncated,
+    /// The payload does not match its recorded CRC.
+    ChecksumMismatch,
+    /// The CRC was valid but the payload is not a well-formed frame.
+    Decode(CodecError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire frame"),
+            WireError::ChecksumMismatch => write!(f, "wire frame checksum mismatch"),
+            WireError::Decode(e) => write!(f, "wire frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchimera_core::Instant;
+
+    fn wire_round_trip(f: &Frame) {
+        let wire = f.to_wire();
+        let back = Frame::from_wire(&wire).expect("decode");
+        assert_eq!(back.to_wire(), wire, "re-encoding differs");
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        wire_round_trip(&Frame::Ack { term: 1, applied: 42 });
+        wire_round_trip(&Frame::CatchUp { term: 7, from: 0 });
+        wire_round_trip(&Frame::Heartbeat { term: 2, total: 9, digest: u64::MAX });
+        wire_round_trip(&Frame::Batch {
+            term: 3,
+            start: 5,
+            ops: vec![Operation::AdvanceTo(Instant(9))],
+            commit_digest: Some(0xdead_beef),
+        });
+        wire_round_trip(&Frame::Snapshot {
+            term: 4,
+            ops_covered: 100,
+            digest: 17,
+            state: vec![1, 2, 3, 0xff],
+        });
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected_or_reencodes_identically() {
+        let wire = Frame::Batch {
+            term: 9,
+            start: 3,
+            ops: vec![Operation::AdvanceTo(Instant(4))],
+            commit_digest: None,
+        }
+        .to_wire();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x01;
+            assert!(Frame::from_wire(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        for cut in 0..wire.len() {
+            assert!(Frame::from_wire(&wire[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Frame transports: how wire frames move between two nodes.
+//!
+//! [`ChannelTransport`] is the production-shaped in-process pipe: FIFO,
+//! lossless, unbounded. [`SimTransport`] is its adversarial twin in the
+//! same spirit as [`SimFs`](crate::vfs::SimFs) — a deterministic,
+//! seedable network that drops, duplicates, reorders, delays, corrupts
+//! and partitions frames, so the replication protocol's convergence can
+//! be exercised against every misbehavior a real network exhibits,
+//! reproducibly from a `u64` seed.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bidirectional, message-oriented frame pipe between two nodes.
+///
+/// Sends are infallible by design: the fault model is *loss*, not
+/// backpressure — a frame handed to a faulty transport may simply never
+/// arrive, and the replication protocol repairs the gap via acks,
+/// heartbeats and catch-up requests.
+pub trait Transport: Send {
+    /// Queue one wire-encoded frame for the peer.
+    fn send(&mut self, frame: Vec<u8>);
+    /// The next deliverable frame from the peer, if any.
+    fn recv(&mut self) -> Option<Vec<u8>>;
+    /// Advance the transport's logical clock (delivers delayed frames on
+    /// simulated transports; a no-op on real ones).
+    fn tick(&mut self) {}
+}
+
+// ---------------------------------------------------------------------
+// ChannelTransport
+// ---------------------------------------------------------------------
+
+type Queue = Arc<Mutex<VecDeque<Vec<u8>>>>;
+
+/// A lossless FIFO in-process transport endpoint.
+pub struct ChannelTransport {
+    outbound: Queue,
+    inbound: Queue,
+}
+
+impl ChannelTransport {
+    /// A connected pair of endpoints.
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let a: Queue = Arc::default();
+        let b: Queue = Arc::default();
+        (
+            ChannelTransport { outbound: Arc::clone(&a), inbound: Arc::clone(&b) },
+            ChannelTransport { outbound: b, inbound: a },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: Vec<u8>) {
+        tchimera_obs::counter!("repl.frames.sent").inc();
+        self.outbound.lock().unwrap().push_back(frame);
+    }
+
+    fn recv(&mut self) -> Option<Vec<u8>> {
+        let f = self.inbound.lock().unwrap().pop_front();
+        if f.is_some() {
+            tchimera_obs::counter!("repl.frames.recv").inc();
+        }
+        f
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimTransport
+// ---------------------------------------------------------------------
+
+/// Per-send fault probabilities for [`SimTransport`], in percent.
+///
+/// Faults are sampled independently per frame from the seeded RNG, so a
+/// given `(seed, config, workload)` triple replays the identical fault
+/// schedule every run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimNetConfig {
+    /// Percent of frames silently dropped.
+    pub drop_pct: u8,
+    /// Percent of frames delivered twice.
+    pub dup_pct: u8,
+    /// Percent of frames inserted at a random queue position instead of
+    /// the back (reordering).
+    pub reorder_pct: u8,
+    /// Percent of frames held back for 1..=`max_delay_ticks` ticks.
+    pub delay_pct: u8,
+    /// Upper bound on injected delivery delay, in ticks.
+    pub max_delay_ticks: u64,
+    /// Percent of frames with one bit flipped in transit (the receiver's
+    /// CRC must catch these).
+    pub corrupt_pct: u8,
+}
+
+impl SimNetConfig {
+    /// A fault-free configuration (behaves like [`ChannelTransport`]).
+    pub fn clean() -> SimNetConfig {
+        SimNetConfig::default()
+    }
+
+    /// The "everything at once" configuration used by the chaos tests.
+    pub fn hostile() -> SimNetConfig {
+        SimNetConfig {
+            drop_pct: 10,
+            dup_pct: 10,
+            reorder_pct: 15,
+            delay_pct: 15,
+            max_delay_ticks: 3,
+            corrupt_pct: 5,
+        }
+    }
+}
+
+/// A frame sitting in a simulated direction queue.
+struct InFlight {
+    deliver_at: u64,
+    frame: Vec<u8>,
+}
+
+struct SimNet {
+    rng: StdRng,
+    config: SimNetConfig,
+    now: u64,
+    partitioned: bool,
+    /// `queues[i]` holds frames destined *to* endpoint `i`.
+    queues: [VecDeque<InFlight>; 2],
+}
+
+impl SimNet {
+    fn send_from(&mut self, from: usize, frame: Vec<u8>) {
+        tchimera_obs::counter!("repl.frames.sent").inc();
+        if self.partitioned || self.roll(self.config.drop_pct) {
+            tchimera_obs::counter!("repl.frames.dropped").inc();
+            return;
+        }
+        let copies = if self.roll(self.config.dup_pct) {
+            tchimera_obs::counter!("repl.frames.duplicated").inc();
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut f = frame.clone();
+            if self.roll(self.config.corrupt_pct) && !f.is_empty() {
+                let i = self.rng.gen_range(0..f.len());
+                let bit = self.rng.gen_range(0u8..8);
+                f[i] ^= 1 << bit;
+                tchimera_obs::counter!("repl.frames.corrupt").inc();
+            }
+            let delay = if self.roll(self.config.delay_pct) && self.config.max_delay_ticks > 0 {
+                self.rng.gen_range(1..=self.config.max_delay_ticks)
+            } else {
+                0
+            };
+            let entry = InFlight { deliver_at: self.now + delay, frame: f };
+            let reorder = self.roll(self.config.reorder_pct);
+            let q = &mut self.queues[from ^ 1];
+            if reorder && !q.is_empty() {
+                let at = self.rng.gen_range(0..q.len());
+                q.insert(at, entry);
+                tchimera_obs::counter!("repl.frames.reordered").inc();
+            } else {
+                q.push_back(entry);
+            }
+        }
+    }
+
+    fn recv_at(&mut self, at: usize) -> Option<Vec<u8>> {
+        let now = self.now;
+        let q = &mut self.queues[at];
+        // Deliver the first *ready* frame; frames still in flight keep
+        // their queue position (delay does not imply extra reordering).
+        let idx = q.iter().position(|f| f.deliver_at <= now)?;
+        let f = q.remove(idx).unwrap().frame;
+        tchimera_obs::counter!("repl.frames.recv").inc();
+        Some(f)
+    }
+
+    fn roll(&mut self, pct: u8) -> bool {
+        pct > 0 && self.rng.gen_range(0u8..100) < pct
+    }
+}
+
+/// One endpoint of a deterministic fault-injecting network. Endpoints
+/// from the same [`SimTransport::pair`] share the seeded fault state.
+#[derive(Clone)]
+pub struct SimTransport {
+    net: Arc<Mutex<SimNet>>,
+    side: usize,
+}
+
+impl SimTransport {
+    /// A connected pair of endpoints over a fresh simulated network.
+    pub fn pair(seed: u64, config: SimNetConfig) -> (SimTransport, SimTransport) {
+        let net = Arc::new(Mutex::new(SimNet {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            now: 0,
+            partitioned: false,
+            queues: [VecDeque::new(), VecDeque::new()],
+        }));
+        (
+            SimTransport { net: Arc::clone(&net), side: 0 },
+            SimTransport { net, side: 1 },
+        )
+    }
+
+    /// Black-hole the link in both directions (frames sent while
+    /// partitioned are dropped, not queued) or heal it.
+    pub fn set_partitioned(&self, on: bool) {
+        self.net.lock().unwrap().partitioned = on;
+    }
+
+    /// The network's logical clock, advanced by [`Transport::tick`].
+    pub fn now(&self) -> u64 {
+        self.net.lock().unwrap().now
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, frame: Vec<u8>) {
+        self.net.lock().unwrap().send_from(self.side, frame);
+    }
+
+    fn recv(&mut self) -> Option<Vec<u8>> {
+        self.net.lock().unwrap().recv_at(self.side)
+    }
+
+    fn tick(&mut self) {
+        self.net.lock().unwrap().now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_is_fifo_and_bidirectional() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.send(vec![1]);
+        a.send(vec![2]);
+        b.send(vec![9]);
+        assert_eq!(b.recv(), Some(vec![1]));
+        assert_eq!(b.recv(), Some(vec![2]));
+        assert_eq!(b.recv(), None);
+        assert_eq!(a.recv(), Some(vec![9]));
+    }
+
+    #[test]
+    fn clean_sim_behaves_like_channel() {
+        let (mut a, mut b) = SimTransport::pair(1, SimNetConfig::clean());
+        for i in 0..10u8 {
+            a.send(vec![i]);
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv(), Some(vec![i]));
+        }
+        assert_eq!(b.recv(), None);
+    }
+
+    #[test]
+    fn sim_faults_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (mut a, mut b) = SimTransport::pair(seed, SimNetConfig::hostile());
+            let mut got = Vec::new();
+            for i in 0..100u8 {
+                a.send(vec![i]);
+                a.tick();
+                while let Some(f) = b.recv() {
+                    got.push(f);
+                }
+            }
+            for _ in 0..10 {
+                a.tick();
+                while let Some(f) = b.recv() {
+                    got.push(f);
+                }
+            }
+            got
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds give different schedules");
+    }
+
+    #[test]
+    fn partition_black_holes_frames() {
+        let (mut a, mut b) = SimTransport::pair(3, SimNetConfig::clean());
+        a.set_partitioned(true);
+        a.send(vec![1]);
+        b.send(vec![2]);
+        assert_eq!(b.recv(), None);
+        assert_eq!(a.recv(), None);
+        a.set_partitioned(false);
+        a.send(vec![3]);
+        assert_eq!(b.recv(), Some(vec![3]), "healed link delivers again");
+    }
+
+    #[test]
+    fn delayed_frames_arrive_after_ticks() {
+        let config = SimNetConfig {
+            delay_pct: 100,
+            max_delay_ticks: 2,
+            ..SimNetConfig::clean()
+        };
+        let (mut a, mut b) = SimTransport::pair(11, config);
+        a.send(vec![1]);
+        let before = b.recv();
+        for _ in 0..2 {
+            b.tick();
+        }
+        let after = b.recv();
+        assert!(before.is_none(), "frame delivered before its delay elapsed");
+        assert_eq!(after, Some(vec![1]));
+    }
+}

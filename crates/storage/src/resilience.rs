@@ -25,6 +25,9 @@ use std::io;
 
 use crate::log::LogError;
 
+/// POSIX errno for "no space left on device".
+pub(crate) const ENOSPC: i32 = 28;
+
 /// How a failed I/O operation should be treated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -38,8 +41,18 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Classify a raw I/O error.
+    ///
+    /// A full disk (`ENOSPC`) is transient: space comes back when a
+    /// compaction, log rotation or operator intervention frees it, and
+    /// the breaker's half-open probe re-admits writes once it does —
+    /// treating it as permanent would turn every full-disk blip into a
+    /// restart. (`ErrorKind::StorageFull` is not stable on our MSRV, so
+    /// the raw errno is matched.)
     #[must_use]
     pub fn of_io(e: &io::Error) -> FaultKind {
+        if e.raw_os_error() == Some(ENOSPC) {
+            return FaultKind::Transient;
+        }
         match e.kind() {
             io::ErrorKind::Interrupted
             | io::ErrorKind::WouldBlock

@@ -203,6 +203,10 @@ struct SimState {
     ops_done: u64,
     /// Fail every mutating operation once `ops_done` reaches this.
     fail_after: Option<u64>,
+    /// Fail every mutating operation with `ENOSPC` ("disk full") once
+    /// `ops_done` reaches this, until cleared — the disk stays full
+    /// until space is freed, unlike a one-shot fault.
+    enospc_after: Option<u64>,
     /// Fail the next this-many mutating operations with a *transient*
     /// error (`ErrorKind::Interrupted`), then recover.
     transient_left: u64,
@@ -227,6 +231,14 @@ impl SimState {
             if self.ops_done >= n {
                 tchimera_obs::counter!("storage.simfs.faults").inc();
                 return Err(io::Error::other("simulated I/O fault"));
+            }
+        }
+        if let Some(n) = self.enospc_after {
+            if self.ops_done >= n {
+                tchimera_obs::counter!("storage.simfs.faults").inc();
+                // Raw errno so `FaultKind::of_io` sees a real ENOSPC
+                // (ErrorKind::StorageFull is unstable on our MSRV).
+                return Err(io::Error::from_raw_os_error(28));
             }
         }
         self.ops_done += 1;
@@ -261,6 +273,17 @@ impl SimFs {
         s.fail_after = n.map(|n| s.ops_done + n);
     }
 
+    /// Let `n` further mutating operations succeed, then fail every one
+    /// after that with `ENOSPC` — the disk is full and *stays* full until
+    /// space is freed (pass `None` to clear, as a compaction or operator
+    /// clean-up would). `ENOSPC` classifies as a transient
+    /// [`FaultKind`](crate::resilience::FaultKind), so bounded retry and
+    /// the breaker's half-open probe handle the recovery.
+    pub fn fail_enospc_after(&self, n: Option<u64>) {
+        let mut s = self.0.lock().unwrap();
+        s.enospc_after = n.map(|n| s.ops_done + n);
+    }
+
     /// Fail the next `n` mutating operations with a *transient* error
     /// (`ErrorKind::Interrupted`) and then let traffic through again —
     /// the momentary blip a bounded-retry policy exists for. Transient
@@ -279,6 +302,7 @@ impl SimFs {
         let mut s = self.0.lock().unwrap();
         s.generation += 1;
         s.fail_after = None;
+        s.enospc_after = None;
         s.transient_left = 0;
         let mut inodes = HashMap::new();
         let durable = s.durable_names.clone();

@@ -142,6 +142,73 @@ fn engine_degrades_to_read_only_and_try_reset_restores() {
     assert_eq!(pdb.db().now(), Instant(2));
 }
 
+/// A full disk (`ENOSPC`) classifies as transient, degrades the engine
+/// to read-only once retries exhaust repeatedly, and — because the
+/// condition clears when space is freed — `try_reset`'s half-open probe
+/// restores full service without a restart.
+#[test]
+fn disk_full_degrades_read_only_and_recovers_when_space_returns() {
+    let _g = lock();
+    assert_eq!(
+        tchimera_storage::FaultKind::of_io(&std::io::Error::from_raw_os_error(28)),
+        tchimera_storage::FaultKind::Transient,
+        "ENOSPC must classify as transient"
+    );
+
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let path = PathBuf::from("enospc.log");
+    let mut pdb = PersistentDatabase::open_with_config(
+        Arc::clone(&vfs),
+        &path,
+        EngineConfig {
+            breaker_threshold: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    pdb.define_class(ClassDef::new("person").attr("address", Type::STRING))
+        .unwrap();
+    pdb.advance_to(Instant(1)).unwrap();
+    pdb.sync().unwrap();
+    let digest = pdb.state_digest();
+
+    // The disk fills up. Every write now hits ENOSPC: transient, so the
+    // full retry budget is spent before each failure surfaces.
+    fs.fail_enospc_after(Some(0));
+    for _ in 0..2 {
+        match pdb.tick() {
+            Err(EngineError::Write { fault, attempts, .. }) => {
+                assert_eq!(fault, tchimera_storage::FaultKind::Transient);
+                assert_eq!(attempts, 4, "default policy retries a full disk");
+            }
+            other => panic!("expected a surfaced write fault, got {other:?}"),
+        }
+        assert_eq!(pdb.state_digest(), digest, "failed write mutated state");
+    }
+    assert!(pdb.is_read_only(), "repeated ENOSPC must open the breaker");
+    assert_eq!(pdb.breaker_state(), BreakerState::Open);
+    assert!(matches!(pdb.tick(), Err(EngineError::ReadOnly { .. })));
+
+    // Reads keep answering while the disk is full.
+    assert!(pdb.db().check_database().is_consistent());
+
+    // Probing while the disk is still full re-opens the breaker...
+    assert!(!pdb.try_reset());
+    assert!(pdb.is_read_only());
+
+    // ...freeing space (compaction, operator clean-up) lets the probe
+    // succeed and service resumes exactly where it stopped.
+    fs.fail_enospc_after(None);
+    assert!(pdb.try_reset());
+    assert!(!pdb.is_read_only());
+    assert_eq!(pdb.breaker_state(), BreakerState::Closed);
+    pdb.tick().unwrap();
+    pdb.sync().unwrap();
+    assert_eq!(pdb.db().now(), Instant(2));
+    assert_ne!(pdb.state_digest(), digest);
+}
+
 /// `trip` forces degradation without waiting for faults (the operator
 /// override), and `try_reset` on a healthy disk closes it again.
 #[test]

@@ -152,3 +152,56 @@ proptest! {
         }
     }
 }
+
+/// Regression: a snapshot *behind* the log's compaction horizon (the
+/// gap between them was compacted away) must be refused with a typed
+/// error everywhere it is consulted — `state_at_op` on a live engine
+/// used to underflow its skip count here.
+#[test]
+fn stale_snapshot_behind_compaction_horizon_is_refused() {
+    use tchimera_storage::EngineError;
+
+    let path = PathBuf::from("stale.log");
+    let fs = SimFs::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+    pdb.define_class(ClassDef::new("employee").attr("salary", Type::temporal(Type::INTEGER)))
+        .unwrap();
+    pdb.advance_to(Instant(1)).unwrap();
+    let oid = pdb
+        .create_object(&ClassId::from("employee"), attrs([("salary", Value::Int(1))]))
+        .unwrap();
+    pdb.checkpoint().unwrap();
+    // Keep the snapshot of this moment: it covers fewer ops than the
+    // compaction base the *next* checkpoint will establish.
+    let stale = fs.contents(&snapshot_path(&path)).unwrap();
+
+    for i in 2..6 {
+        pdb.set_attr(oid, &"salary".into(), Value::Int(i)).unwrap();
+    }
+    pdb.checkpoint().unwrap();
+    let total = pdb.op_count();
+
+    // Roll the snapshot file back (a restore-from-backup gone wrong, a
+    // half-applied sync — any path that leaves an old image in place).
+    let mut f = fs.open_trunc(&snapshot_path(&path)).unwrap();
+    f.write_all(&stale).unwrap();
+    f.sync().unwrap();
+    drop(f);
+
+    // The live engine refuses recovery inspection with a typed error
+    // instead of underflowing.
+    match pdb.state_at_op(total) {
+        Err(EngineError::Snapshot(_)) => {}
+        other => panic!("expected a typed snapshot refusal, got {other:?}"),
+    }
+
+    // Reopening refuses just as loudly: the compacted prefix is gone and
+    // the stale image cannot stand in for it.
+    drop(pdb);
+    match PersistentDatabase::open_with(vfs, &path) {
+        Err(EngineError::Snapshot(_)) => {}
+        Ok(_) => panic!("recovery served a state the stale snapshot cannot justify"),
+        Err(other) => panic!("expected a typed snapshot refusal, got {other:?}"),
+    }
+}

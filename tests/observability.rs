@@ -126,7 +126,8 @@ fn design_doc_section_9_names_round_trip_into_the_snapshot() {
     // And the converse: everything registered under the product prefixes
     // is documented (scratch `test.*` names from other tests are exempt).
     for name in snap.names() {
-        let product = ["core.", "storage.", "query."].iter().any(|p| name.starts_with(p));
+        let product =
+            ["core.", "storage.", "query.", "repl."].iter().any(|p| name.starts_with(p));
         if product {
             assert!(
                 documented.iter().any(|d| d == name),
