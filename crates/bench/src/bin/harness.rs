@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table of `EXPERIMENTS.md`
-//! (E1–E13, E15–E19) and prints them as Markdown.
+//! (E1–E13, E15–E20) and prints them as Markdown.
 //!
 //! ```text
 //! cargo run --release -p tchimera-bench --bin harness            # all
@@ -74,6 +74,9 @@ fn main() {
     }
     if want("E19") {
         e19_replication();
+    }
+    if want("E20") {
+        e20_scrub();
     }
 }
 
@@ -1000,4 +1003,44 @@ fn e19_replication() {
         );
     }
     println!("\n(Full sweep incl. snapshot catch-up: `cargo run --release -p tchimera-bench --bin repl` → `BENCH_repl.json`.)\n");
+}
+
+// ---------------------------------------------------------------------
+// E20 — online integrity scrubber
+// ---------------------------------------------------------------------
+
+fn e20_scrub() {
+    use tchimera_core::SimMem;
+
+    header("E20", "Online integrity scrubber: detect, repair, quarantine");
+
+    println!("| database | cycle | items | outcome |");
+    println!("|---|---|---|---|");
+    for size in [1_000usize, 4_000] {
+        let mut db = staff_db(size, 10, 7);
+        let _ = db.scrub_cycle(); // warm
+        let start = std::time::Instant::now();
+        let report = db.scrub_cycle();
+        let ns = start.elapsed().as_nanos() as f64;
+        assert!(report.clean(), "healthy database scrubbed dirty: {report:?}");
+        println!("| healthy, {size} objects | {} | {} | clean |", fmt_ns(ns), report.items);
+    }
+
+    // One seeded derived-structure corruption: detected and repaired in
+    // a single cycle, and the follow-up cycle is clean again.
+    let mut db = staff_db(2_000, 10, 99);
+    let mut sim = SimMem::new(0xE20);
+    let fault = sim.corrupt_index(&mut db).expect("something to corrupt");
+    let start = std::time::Instant::now();
+    let report = db.scrub_cycle();
+    let ns = start.elapsed().as_nanos() as f64;
+    assert!(report.divergences >= 1 && report.fully_repaired(), "{report:?}");
+    assert!(db.scrub_cycle().clean());
+    println!(
+        "| seeded {fault:?}, 2000 objects | {} | {} | {} divergence(s), repaired |",
+        fmt_ns(ns),
+        report.items,
+        report.divergences
+    );
+    println!("\n(Foreground-overhead bound + JSON: `cargo run --release -p tchimera-bench --bin scrub` → `BENCH_scrub.json`.)\n");
 }

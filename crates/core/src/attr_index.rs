@@ -66,7 +66,7 @@ use crate::Database;
 pub(crate) const ATTR_INDEX_CAP: usize = 16;
 
 /// The intervals over which one object held one value.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 struct Holding {
     /// Closed runs, coalesced.
     closed: IntervalSet,
@@ -104,7 +104,7 @@ impl Holding {
 }
 
 /// One attribute's value index: `value → {oid → holding}`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct AttrIndex {
     values: HashMap<Value, HashMap<Oid, Holding>>,
 }
@@ -525,6 +525,65 @@ impl Database {
     /// needed at all (lock-free when nothing is cached).
     pub(crate) fn attridx_active(&self) -> bool {
         self.attr_idx.is_active()
+    }
+
+    /// Scrub check for the attribute-index cache: rebuild every cached
+    /// per-attribute index fresh from base state and compare with the
+    /// incrementally maintained copy. Diverged entries are dropped when
+    /// `repair` is set — the cache is authoritative-free (lazily rebuilt
+    /// on the next probe), so invalidate-and-rebuild is a complete
+    /// repair. Returns `(entries checked, entries diverged)`.
+    pub(crate) fn attridx_scrub(&self, repair: bool) -> (u64, u64) {
+        if !self.attr_idx.is_active() {
+            return (0, 0);
+        }
+        let now = self.clock;
+        let mut inner = self.attr_idx.lock();
+        let checked = inner.entries.len() as u64;
+        let mut diverged: Vec<AttrName> = Vec::new();
+        for (attr, entry) in inner.entries.iter() {
+            let mut fresh = AttrIndex::default();
+            for o in self.objects.values() {
+                if let Some(slot) = o.attrs.get(attr) {
+                    fresh.index_slot(o.oid, slot, now);
+                }
+            }
+            if entry.index != fresh {
+                diverged.push(attr.clone());
+            }
+        }
+        if repair && !diverged.is_empty() {
+            for attr in &diverged {
+                inner.entries.remove(attr);
+            }
+            self.attr_idx.publish_len(&inner);
+        }
+        (checked, diverged.len() as u64)
+    }
+
+    /// Deterministic corruption hook for scrubber tests: plant a phantom
+    /// holding inside one cached per-attribute index. Returns `false`
+    /// when nothing is cached (nothing to corrupt).
+    #[cfg(any(test, feature = "testing"))]
+    pub(crate) fn attridx_corrupt_for_test(&self, r: u64) -> bool {
+        let mut inner = self.attr_idx.lock();
+        let n = inner.entries.len();
+        if n == 0 {
+            return false;
+        }
+        let entry = inner
+            .entries
+            .values_mut()
+            .nth(r as usize % n)
+            .expect("index bounded by len");
+        entry.index.values.entry(Value::Int(i64::MIN + 7)).or_default().insert(
+            Oid(u64::MAX - 5),
+            Holding {
+                always: true,
+                ..Holding::default()
+            },
+        );
+        true
     }
 }
 

@@ -91,6 +91,36 @@ pub enum ConsistencyError {
     },
 }
 
+impl ConsistencyError {
+    /// The class the violation names, if any (scrubber attribution:
+    /// which class to escalate or quarantine).
+    pub fn class_hint(&self) -> Option<ClassId> {
+        use ConsistencyError::*;
+        match self {
+            OutsideClassLifespan { class, .. }
+            | TemporalAttributeGap { class, .. }
+            | HistoricalTypeError { class, .. }
+            | StaticTypeError { class, .. }
+            | StaticAttributeMissing { class, .. } => Some(class.clone()),
+            OidClash { .. } | DanglingReference { .. } => None,
+        }
+    }
+
+    /// The object the violation names, if any.
+    pub fn oid_hint(&self) -> Option<Oid> {
+        use ConsistencyError::*;
+        match self {
+            OutsideClassLifespan { oid, .. }
+            | TemporalAttributeGap { oid, .. }
+            | HistoricalTypeError { oid, .. }
+            | StaticTypeError { oid, .. }
+            | StaticAttributeMissing { oid, .. }
+            | OidClash { oid }
+            | DanglingReference { oid, .. } => Some(*oid),
+        }
+    }
+}
+
 impl fmt::Display for ConsistencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use ConsistencyError::*;

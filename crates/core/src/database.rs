@@ -58,6 +58,11 @@ pub struct Database {
     /// kept current incrementally by every mutation below. Clones start
     /// empty — see `attr_index.rs`.
     pub(crate) attr_idx: crate::attr_index::AttrIndexCache,
+    /// Classes fenced off by the integrity scrubber after unrepaired
+    /// corruption. Shared across clones (like `admission`) so a scrub on
+    /// one handle protects every reader. Empty in healthy databases —
+    /// the gate costs one relaxed atomic load per operation.
+    pub(crate) quarantine: std::sync::Arc<crate::scrub::Quarantine>,
 }
 
 impl Database {
@@ -71,6 +76,12 @@ impl Database {
     /// clones; see [`Admission`](crate::Admission).
     pub fn admission(&self) -> &crate::admission::Admission {
         &self.admission
+    }
+
+    /// An owning handle to the admission gate, for holding a permit
+    /// across a mutable borrow of the database (e.g. a governed scrub).
+    pub fn admission_handle(&self) -> std::sync::Arc<crate::admission::Admission> {
+        std::sync::Arc::clone(&self.admission)
     }
 
     // ------------------------------------------------------------------
@@ -142,6 +153,7 @@ impl Database {
         attr: &AttrName,
         value: Value,
     ) -> Result<()> {
+        self.guard_class(class)?;
         let now = self.clock;
         let c = self.schema.class(class)?;
         if !c.lifespan.is_alive() {
@@ -213,6 +225,7 @@ impl Database {
     /// superclass (Section 3.2), and the class extents are updated so that
     /// Invariants 5.1 and 5.2 hold.
     pub fn create_object(&mut self, class: &ClassId, init: Attrs) -> Result<Oid> {
+        self.guard_class(class)?;
         let now = self.clock;
         let c = self.schema.class(class)?;
         if !c.lifespan.is_alive() {
@@ -328,6 +341,7 @@ impl Database {
     ///   (Section 1.1, non-temporal attributes).
     /// * Immutable attributes reject any update after creation.
     pub fn set_attr(&mut self, oid: Oid, attr: &AttrName, value: Value) -> Result<()> {
+        self.guard_object(oid)?;
         let now = self.clock;
         let object = self
             .objects
@@ -449,6 +463,8 @@ impl Database {
     ///   static in the new class, the history is closed at `now − 1` and
     ///   the current value is kept as the static value.
     pub fn migrate(&mut self, oid: Oid, to: &ClassId, init: Attrs) -> Result<()> {
+        self.guard_object(oid)?;
+        self.guard_class(to)?;
         let now = self.clock;
         let object = self
             .objects
@@ -653,6 +669,7 @@ impl Database {
     /// `[start, now]`, all open attribute histories and memberships are
     /// closed. The oid and the full recorded history remain queryable.
     pub fn terminate_object(&mut self, oid: Oid) -> Result<()> {
+        self.guard_object(oid)?;
         let now = self.clock;
         let idx_active = self.attridx_active();
         let object = self
@@ -735,11 +752,13 @@ impl Database {
     /// of objects that at time `t` belonged to `c` as instances or members
     /// (Section 3.2).
     pub fn pi(&self, class: &ClassId, t: Instant) -> Result<Vec<Oid>> {
+        self.guard_class(class)?;
         Ok(self.schema.class(class)?.ext_at(t, self.clock))
     }
 
     /// The proper extent of `c` at `t` (instances only).
     pub fn proper_pi(&self, class: &ClassId, t: Instant) -> Result<Vec<Oid>> {
+        self.guard_class(class)?;
         Ok(self.schema.class(class)?.proper_ext_at(t, self.clock))
     }
 
@@ -762,16 +781,19 @@ impl Database {
 
     /// `h_state(i, t)` — the historical value of an object (Section 5.2).
     pub fn h_state(&self, oid: Oid, t: Instant) -> Result<Value> {
+        self.guard_object(oid)?;
         Ok(self.object(oid)?.h_state(t, self.clock))
     }
 
     /// `s_state(i)` — the static value of an object (Section 5.2).
     pub fn s_state(&self, oid: Oid) -> Result<Value> {
+        self.guard_object(oid)?;
         Ok(self.object(oid)?.s_state())
     }
 
     /// `o_lifespan(i)` — the lifespan of an object.
     pub fn o_lifespan(&self, oid: Oid) -> Result<Lifespan> {
+        self.guard_object(oid)?;
         Ok(self.object(oid)?.lifespan)
     }
 
@@ -779,12 +801,14 @@ impl Database {
     /// `i` was a member of `c`; may be non-contiguous (an employee can be
     /// fired and rehired, Section 5.1).
     pub fn c_lifespan(&self, oid: Oid, class: &ClassId) -> Result<IntervalSet> {
+        self.guard_class(class)?;
         Ok(self.schema.class(class)?.membership_of(oid, self.clock))
     }
 
     /// `ref(i, t)` — the oids the object refers to at instant `t`
     /// (Section 5.2, Definition 5.6).
     pub fn refs(&self, oid: Oid, t: Instant) -> Result<Vec<Oid>> {
+        self.guard_object(oid)?;
         Ok(self.object(oid)?.refs_at(t, self.clock))
     }
 
@@ -792,6 +816,7 @@ impl Database {
     /// (Section 5.3); undefined for `t ≠ now` when the object has static
     /// attributes.
     pub fn snapshot(&self, oid: Oid, t: Instant) -> Result<Value> {
+        self.guard_object(oid)?;
         self.object(oid)?.snapshot(t, self.clock)
     }
 
@@ -852,6 +877,7 @@ impl Database {
     /// The current value of an attribute (temporal attributes resolve to
     /// their value at `now`).
     pub fn attr_now(&self, oid: Oid, attr: &AttrName) -> Result<Value> {
+        self.guard_object(oid)?;
         let o = self.object(oid)?;
         let v = o
             .attr(attr)
@@ -873,6 +899,7 @@ impl Database {
     /// recorded); for a temporal attribute it is `f(t)` (or `null` outside
     /// the domain).
     pub fn attr_at(&self, oid: Oid, attr: &AttrName, t: Instant) -> Result<Value> {
+        self.guard_object(oid)?;
         let o = self.object(oid)?;
         let v = o
             .attr(attr)

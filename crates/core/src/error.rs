@@ -139,6 +139,14 @@ pub enum ModelError {
         /// The invariant that was violated.
         context: &'static str,
     },
+    /// The class is quarantined by the integrity scrubber: corruption was
+    /// detected in its state and no repair rung could restore it, so
+    /// reads and writes touching it are refused while every other class
+    /// keeps serving (graceful degradation; see `scrub`).
+    Quarantined {
+        /// The quarantined class.
+        class: ClassId,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -203,6 +211,10 @@ impl fmt::Display for ModelError {
             Internal { context } => {
                 write!(f, "internal invariant violated: {context} (this is a bug)")
             }
+            Quarantined { class } => write!(
+                f,
+                "class `{class}` is quarantined by the integrity scrubber (unrepaired corruption)"
+            ),
         }
     }
 }

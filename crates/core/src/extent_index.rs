@@ -214,7 +214,12 @@ impl Membership {
         if !h.has_open_run() {
             return;
         }
-        let start = h.entries().last().expect("open run").start;
+        // An open run implies a last entry; a history corrupted out of
+        // that invariant must degrade to a no-op close, not a panic (the
+        // scrubber runs these paths against deliberately damaged state).
+        let Some(start) = h.entries().last().map(|e| e.start) else {
+            return;
+        };
         h.close(now);
         // A run opened after `now` never held: cancel it from its start.
         let at = if start > now { start } else { now.next() };
@@ -231,7 +236,11 @@ impl Membership {
         if !h.has_open_run() {
             return;
         }
-        let start = h.entries().last().expect("open run").start;
+        // Same degradation discipline as `close`: never panic on a
+        // history missing the entry its open-run flag promises.
+        let Some(start) = h.entries().last().map(|e| e.start) else {
+            return;
+        };
         h.close_before(now);
         let at = if start >= now { start } else { now };
         self.index.record(at, oid, -1);
@@ -320,6 +329,11 @@ impl Membership {
         self.histories.get(&oid)
     }
 
+    /// Number of per-oid membership histories (scrub cost accounting).
+    pub(crate) fn history_count(&self) -> usize {
+        self.histories.len()
+    }
+
     /// All oids ever members.
     pub(crate) fn oids(&self) -> impl Iterator<Item = Oid> + '_ {
         self.histories.keys().copied()
@@ -341,6 +355,101 @@ impl Membership {
     /// at the same instant (the live close-then-reopen order), so the
     /// index's current-member set matches the one incremental maintenance
     /// would have produced.
+    /// Assert-free divergence check between the time-sorted index and the
+    /// per-oid histories (the source of truth). Probes every instant at
+    /// which either representation claims a membership change, plus
+    /// `now`, and compares the indexed answer with the scan answer at
+    /// each. The scrubber uses this instead of
+    /// [`Membership::members_at`], whose `debug_assert` would abort the
+    /// process on exactly the corruption being scrubbed for. Returns the
+    /// number of probes performed, or `None` on the first divergence.
+    pub(crate) fn verify_index(&self, now: Instant) -> Option<u64> {
+        let mut probes: BTreeSet<Instant> = BTreeSet::new();
+        probes.insert(now);
+        for h in self.histories.values() {
+            for e in h.entries() {
+                probes.insert(e.start);
+                if let tchimera_temporal::TimeBound::Fixed(end) = e.end {
+                    probes.insert(end);
+                    probes.insert(end.next());
+                }
+            }
+        }
+        // Boundaries the (possibly corrupt) index believes in must be
+        // probed too: a bogus event at an instant no history mentions
+        // would otherwise slip between probe points.
+        for e in &self.index.events {
+            probes.insert(e.at);
+        }
+        let n = probes.len() as u64 + 1;
+        for &t in &probes {
+            if self.index.members_at(t, now) != self.members_at_scan(t, now) {
+                return None;
+            }
+        }
+        // The current-member set is a derived structure of its own: the
+        // fast path serves it verbatim once the clock passes the last
+        // event, so it must equal the net-delta fold of the full event
+        // stream (exactly what a checkpoint-free replay would produce).
+        // Probing alone cannot see this: with an empty or future-dated
+        // event list `members_at` never consults `current`, leaving a
+        // corrupted entry latent until the next append.
+        let mut net: BTreeMap<Oid, i32> = BTreeMap::new();
+        for e in &self.index.events {
+            *net.entry(e.oid).or_insert(0) += e.delta;
+        }
+        let replayed: BTreeSet<Oid> =
+            net.into_iter().filter(|&(_, c)| c > 0).map(|(o, _)| o).collect();
+        if replayed != self.index.current {
+            return None;
+        }
+        Some(n)
+    }
+
+    /// Rebuild the time-sorted index from the per-oid histories (repair
+    /// rung 1: the histories are the source of truth, the index is
+    /// derived). Digest-neutral — only the derived structure changes.
+    pub(crate) fn rebuild_index(&mut self) {
+        let histories = std::mem::take(&mut self.histories);
+        *self = Membership::from_histories(histories);
+    }
+
+    /// Deterministic corruption hook for scrubber tests: damage the
+    /// derived index (never the histories — they are the source of
+    /// truth) in a way [`Membership::verify_index`] is guaranteed to
+    /// detect. `r` seeds the choice of damage.
+    #[cfg(any(test, feature = "testing"))]
+    pub(crate) fn corrupt_index_for_test(&mut self, r: u64) {
+        let n = self.index.events.len();
+        match r % 3 {
+            // A member the histories never saw, visible at `now`.
+            0 => {
+                self.index.current.insert(Oid(u64::MAX - 1));
+            }
+            // Drop a genuine current member.
+            1 if !self.index.current.is_empty() => {
+                let victim = *self
+                    .index
+                    .current
+                    .iter()
+                    .nth((r as usize / 3) % self.index.current.len())
+                    .expect("non-empty");
+                self.index.current.remove(&victim);
+            }
+            // Flip a non-final event's delta (a final event is masked by
+            // the current-set fast path, so only earlier ones are
+            // observable — and therefore detectable).
+            2 if n >= 2 => {
+                let i = (r as usize / 3) % (n - 1);
+                self.index.events[i].delta = -self.index.events[i].delta;
+                self.index.checkpoints.retain(|c| c.applied <= i);
+            }
+            _ => {
+                self.index.current.insert(Oid(u64::MAX - 1));
+            }
+        }
+    }
+
     pub(crate) fn from_histories(histories: HashMap<Oid, TemporalValue<()>>) -> Membership {
         let mut events: Vec<(Instant, Oid, i32)> = Vec::new();
         for (&oid, h) in &histories {
@@ -381,6 +490,34 @@ mod tests {
         assert_eq!(m.members_at(t(15), now), vec![Oid(1), Oid(2)]);
         assert_eq!(m.members_at(t(16), now), vec![Oid(2)]);
         assert_eq!(m.members_at(t(25), now), vec![]);
+    }
+
+    #[test]
+    fn close_paths_degrade_to_no_ops_on_absent_or_closed_runs() {
+        // Regression for the unwrap audit: `close`/`close_before` used to
+        // assume a known oid with an open run; both assumptions break when
+        // the scrubber replays these paths against damaged state, so each
+        // must be a silent no-op rather than a panic or a spurious event.
+        let mut m = Membership::default();
+        m.open(Oid(1), t(10)).unwrap();
+        let now = t(20);
+
+        // Unknown oid: nothing to close.
+        m.close(Oid(99), now);
+        m.close_before(Oid(99), now);
+        assert!(m.history_of(Oid(99)).is_none());
+
+        // Already-closed run: the second close must not record a second
+        // leave event (which would drive the net delta negative).
+        m.close(Oid(1), t(12));
+        m.close(Oid(1), t(14));
+        m.close_before(Oid(1), t(14));
+        assert_eq!(m.members_at(t(12), now), vec![Oid(1)]);
+        assert_eq!(m.members_at(t(13), now), vec![]);
+
+        // The index stayed coherent through all of it.
+        assert!(m.verify_index(now).is_some());
+        assert_eq!(m.members_at(t(13), now), m.members_at_scan(t(13), now));
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod object;
 mod observability;
 mod ref_index;
 mod schema;
+mod scrub;
 mod state;
 mod subtyping;
 mod types;
@@ -80,6 +81,9 @@ pub use invariants::{InvariantId, InvariantViolation};
 pub use object::Object;
 pub use observability::{touch_metrics, CORE_METRICS};
 pub use schema::Schema;
+#[cfg(any(test, feature = "testing"))]
+pub use scrub::{MemFault, SimMem};
+pub use scrub::{Quarantine, ScrubFinding, ScrubReport};
 pub use state::{ClassState, DatabaseState, MembershipState, ObjectState, RunState, StateError};
 pub use types::{BasicType, Type};
 pub use value::Value;

@@ -36,6 +36,16 @@ pub const CORE_METRICS: &[&str] = &[
     "core.refindex.incremental",
     "core.refindex.probes",
     "core.refindex.rebuilds",
+    "core.scrub.clean_cycles",
+    "core.scrub.cycle",
+    "core.scrub.cycles",
+    "core.scrub.divergences",
+    "core.scrub.items",
+    "core.scrub.quarantined",
+    "core.scrub.repairs.index_rebuild",
+    "core.scrub.repairs.rematerialize",
+    "core.scrub.repairs.replica_pull",
+    "core.scrub.steps",
 ];
 
 /// Register every core metric (at zero) so snapshots always carry the
@@ -48,11 +58,13 @@ pub fn touch_metrics() {
         r.histogram("core.check_database");
         r.histogram("core.check_oid_uniqueness");
         r.histogram("core.check_refs");
+        r.histogram("core.scrub.cycle");
         r.gauge("core.consistency.workers");
+        r.gauge("core.scrub.quarantined");
         for name in CORE_METRICS {
             match *name {
                 "core.check_database" | "core.check_oid_uniqueness" | "core.check_refs"
-                | "core.consistency.workers" => {}
+                | "core.scrub.cycle" | "core.consistency.workers" | "core.scrub.quarantined" => {}
                 counter => {
                     r.counter(counter);
                 }

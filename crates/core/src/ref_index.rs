@@ -15,7 +15,7 @@ use crate::ident::Oid;
 
 /// The inverse reference graph, maintained by [`RefIndex::update`] after
 /// each object mutation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct RefIndex {
     /// Referrer → sorted distinct oids it references (anywhere in its
     /// state, past runs included). Cached so an update only diffs.
@@ -107,6 +107,48 @@ impl RefIndex {
     #[cfg(test)]
     pub(crate) fn targets_of(&self, referrer: Oid) -> &[Oid] {
         self.fwd.get(&referrer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Deterministic corruption hook for scrubber tests: damage the
+    /// derived index in a way a fresh rebuild comparison is guaranteed to
+    /// detect. `r` seeds the choice of damage.
+    #[cfg(any(test, feature = "testing"))]
+    pub(crate) fn corrupt_for_test(&mut self, r: u64) {
+        match r % 3 {
+            // A phantom edge: a referrer that references nothing.
+            0 => {
+                self.rev
+                    .entry(Oid(u64::MAX - 2))
+                    .or_default()
+                    .insert(Oid(u64::MAX - 3));
+            }
+            // Drop a genuine forward entry (its rev edges go stale too).
+            1 if !self.fwd.is_empty() => {
+                let victim = *self
+                    .fwd
+                    .keys()
+                    .nth((r as usize / 3) % self.fwd.len())
+                    .expect("non-empty");
+                self.fwd.remove(&victim);
+            }
+            // Append a bogus forward target for an existing referrer.
+            2 if !self.fwd.is_empty() => {
+                let victim = *self
+                    .fwd
+                    .keys()
+                    .nth((r as usize / 3) % self.fwd.len())
+                    .expect("non-empty");
+                if let Some(targets) = self.fwd.get_mut(&victim) {
+                    targets.push(Oid(u64::MAX - 4));
+                }
+            }
+            _ => {
+                self.rev
+                    .entry(Oid(u64::MAX - 2))
+                    .or_default()
+                    .insert(Oid(u64::MAX - 3));
+            }
+        }
     }
 }
 

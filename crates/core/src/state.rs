@@ -48,7 +48,7 @@ pub struct MembershipState {
 }
 
 /// The full state of one class (Definition 4.1 plus derived features).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClassState {
     /// The class identifier.
     pub id: ClassId,
@@ -83,7 +83,7 @@ pub struct ClassState {
 }
 
 /// The full state of one object (Definition 5.1).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ObjectState {
     /// The object identifier.
     pub oid: Oid,
@@ -96,7 +96,7 @@ pub struct ObjectState {
 }
 
 /// The complete, self-contained image of a database.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DatabaseState {
     /// The logical clock.
     pub clock: Instant,
@@ -324,6 +324,7 @@ impl Database {
             refs: RefIndex::default(),
             admission: std::sync::Arc::default(),
             attr_idx: Default::default(),
+            quarantine: std::sync::Arc::default(),
         };
         let oids: Vec<Oid> = db.objects.keys().copied().collect();
         for oid in oids {

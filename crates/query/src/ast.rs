@@ -263,4 +263,10 @@ pub enum Stmt {
     CheckConsistency,
     /// `CHECK INVARIANTS`
     CheckInvariants,
+    /// `SCRUB NOW` — run one governed integrity-scrub cycle
+    /// (detection plus in-place rung-1 repair of derived structures).
+    ScrubNow,
+    /// `SCRUB STATUS` — report the last scrub cycle's outcome and the
+    /// live quarantine set without doing any work.
+    ScrubStatus,
 }

@@ -660,6 +660,7 @@ pub fn execute_plan(
     // Raw extents per variable.
     let mut raw: Vec<Vec<Oid>> = Vec::with_capacity(n);
     for (i, (class_id, var)) in q.vars.iter().enumerate() {
+        db.guard_class(class_id)?;
         let class = db.schema().class(class_id)?;
         let oids = match q.time {
             TimeSpec::Now => class.ext_at(now, now),

@@ -142,6 +142,8 @@ pub enum Outcome {
     Equality(Option<Equality>),
     /// `CHECK CONSTRAINT` report.
     Constraint(Vec<ConstraintViolation>),
+    /// `SCRUB NOW` / `SCRUB STATUS` report, pre-rendered.
+    Scrub(String),
 }
 
 impl fmt::Display for Outcome {
@@ -188,6 +190,7 @@ impl fmt::Display for Outcome {
                     Ok(())
                 }
             }
+            Outcome::Scrub(s) => write!(f, "{s}"),
         }
     }
 }
@@ -205,6 +208,8 @@ pub struct Interpreter {
     db: Database,
     plans: PlanCache,
     budget: ExecBudget,
+    /// Outcome of the most recent `SCRUB NOW`, for `SCRUB STATUS`.
+    last_scrub: Option<tchimera_core::ScrubReport>,
 }
 
 impl Interpreter {
@@ -334,8 +339,79 @@ impl Interpreter {
             Stmt::CheckConstraint(spec) => {
                 Outcome::Constraint(self.db.check_constraint(&constraint_of(spec)))
             }
+            Stmt::ScrubNow => {
+                let report = self.governed_scrub()?;
+                let rendered = report.to_string();
+                self.last_scrub = Some(report);
+                Outcome::Scrub(rendered)
+            }
+            Stmt::ScrubStatus => {
+                Outcome::Scrub(render_scrub_status(self.last_scrub.as_ref(), &self.db))
+            }
         })
     }
+
+    /// The report of the most recent `SCRUB NOW`, if one has run.
+    pub fn last_scrub(&self) -> Option<&tchimera_core::ScrubReport> {
+        self.last_scrub.as_ref()
+    }
+
+    /// Run one scrub cycle under the same governor policy as a query:
+    /// admission-controlled against the concurrent-query cap, charged
+    /// step by step against this interpreter's [`ExecBudget`] cost cap
+    /// (a scrub can consume no more logical cost than a single query
+    /// may), cancellable through the budget's token, and panic-shielded.
+    /// An over-budget cycle stops early with `budget_exhausted` set
+    /// rather than erroring: partial verification is still progress, and
+    /// the counters cover exactly the work done.
+    fn governed_scrub(&mut self) -> Result<tchimera_core::ScrubReport, QueryError> {
+        let gate = self.db.admission_handle();
+        let Some(_permit) = gate.try_enter() else {
+            return Err(QueryError::Overloaded {
+                active: gate.active(),
+                cap: gate.cap(),
+            });
+        };
+        let max_cost = self.budget.max_cost;
+        let cancel = self.budget.cancel.clone();
+        let db = &mut self.db;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut spent = 0u64;
+            db.scrub_cycle_with(&mut |cost| {
+                spent = spent.saturating_add(cost);
+                spent <= max_cost && !cancel.is_cancelled()
+            })
+        }));
+        match caught {
+            Ok(report) => Ok(report),
+            Err(payload) => {
+                tchimera_obs::counter!("query.panic.count").inc();
+                Err(QueryError::Internal(panic_message(payload)))
+            }
+        }
+    }
+}
+
+/// Render `SCRUB STATUS`: the last recorded cycle (if any) plus the
+/// database's live quarantine set. Shared by both session kinds; a
+/// replica session passes `None` since scrubbing there happens at the
+/// storage layer, not through TCQL.
+pub(crate) fn render_scrub_status(
+    last: Option<&tchimera_core::ScrubReport>,
+    db: &Database,
+) -> String {
+    let mut s = match last {
+        Some(r) => r.to_string(),
+        None => "scrub: no cycle recorded".to_string(),
+    };
+    let q = db.quarantined_classes();
+    if q.is_empty() {
+        s.push_str("\nquarantine: empty");
+    } else {
+        let names: Vec<String> = q.iter().map(ToString::to_string).collect();
+        s.push_str(&format!("\nquarantine: {}", names.join(", ")));
+    }
+    s
 }
 
 /// Run a planned query under the full governor: admission control
@@ -897,5 +973,95 @@ mod tests {
                 .unwrap(),
             &Value::Int(20)
         );
+    }
+
+    #[test]
+    fn scrub_statements_run_governed() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class person (name: temporal(string) immutable, address: string); \
+                 create person (name := 'Bob', address := 'Milano'); \
+                 tick 3",
+            )
+            .unwrap();
+        // Status before any cycle: nothing recorded, nothing fenced.
+        match interp.run("scrub status").unwrap() {
+            Outcome::Scrub(s) => {
+                assert!(s.contains("no cycle recorded"), "{s}");
+                assert!(s.contains("quarantine: empty"), "{s}");
+            }
+            other => panic!("expected scrub status, got {other}"),
+        }
+        // A healthy database scrubs clean, and the report is recorded.
+        match interp.run("scrub now").unwrap() {
+            Outcome::Scrub(s) => assert!(s.contains("clean"), "{s}"),
+            other => panic!("expected scrub report, got {other}"),
+        }
+        assert!(interp.last_scrub().is_some_and(tchimera_core::ScrubReport::clean));
+        match interp.run("scrub status").unwrap() {
+            Outcome::Scrub(s) => {
+                assert!(s.contains("clean"), "{s}");
+                assert!(s.contains("quarantine: empty"), "{s}");
+            }
+            other => panic!("expected scrub status, got {other}"),
+        }
+    }
+
+    #[test]
+    fn scrub_now_is_charged_against_the_budget() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_script(
+                "define class person (name: temporal(string) immutable, address: string); \
+                 create person (name := 'Ann', address := 'Genova')",
+            )
+            .unwrap();
+        let mut tiny = ExecBudget::unlimited();
+        tiny.max_cost = 1;
+        interp.set_budget(tiny);
+        match interp.run("scrub now").unwrap() {
+            Outcome::Scrub(s) => assert!(s.contains("budget exhausted"), "{s}"),
+            other => panic!("expected scrub report, got {other}"),
+        }
+        assert!(interp.last_scrub().unwrap().budget_exhausted);
+        // A real budget finishes the cycle cleanly.
+        interp.set_budget(ExecBudget::default());
+        assert!(matches!(
+            interp.run("scrub now").unwrap(),
+            Outcome::Scrub(s) if s.contains("clean")
+        ));
+    }
+
+    #[test]
+    fn scrub_status_reports_the_quarantine() {
+        let mut interp = Interpreter::new();
+        interp.run("define class person (address: string)").unwrap();
+        interp.db().quarantine_class(&"person".into());
+        match interp.run("scrub status").unwrap() {
+            Outcome::Scrub(s) => assert!(s.contains("quarantine: person"), "{s}"),
+            other => panic!("expected scrub status, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_class_refuses_selects_but_others_serve() {
+        let mut interp = Interpreter::new();
+        interp.run("define class person (address: string)").unwrap();
+        interp.run("define class city (name: string)").unwrap();
+        interp
+            .run("create person (address := 'pine st')")
+            .unwrap();
+        interp.run("create city (name := 'milan')").unwrap();
+        interp.db().quarantine_class(&"person".into());
+        let err = interp.run("select p from person p").unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        // Every other class keeps serving through the same session.
+        match interp.run("select c from city c").unwrap() {
+            Outcome::Table(r) => assert_eq!(r.rows.len(), 1),
+            other => panic!("expected rows, got {other}"),
+        }
+        interp.db().unquarantine_class(&"person".into());
+        assert!(interp.run("select p from person p").is_ok());
     }
 }

@@ -319,6 +319,15 @@ impl Parser {
             let b = self.oid_lit()?;
             return Ok(Stmt::Compare { a, b });
         }
+        if self.eat_kw("scrub") {
+            if self.eat_kw("now") {
+                return Ok(Stmt::ScrubNow);
+            }
+            if self.eat_kw("status") {
+                return Ok(Stmt::ScrubStatus);
+            }
+            return Err(self.err("expected `now` or `status`"));
+        }
         Err(self.err("expected a statement"))
     }
 
@@ -1086,5 +1095,9 @@ mod tests {
             parse("create c").unwrap(),
             Stmt::Create { init, .. } if init.is_empty()
         ));
+        assert!(matches!(parse("scrub now").unwrap(), Stmt::ScrubNow));
+        assert!(matches!(parse("SCRUB STATUS").unwrap(), Stmt::ScrubStatus));
+        assert!(parse("scrub").is_err());
+        assert!(parse("scrub everything").is_err());
     }
 }

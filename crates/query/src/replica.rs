@@ -103,6 +103,13 @@ impl ReplicaSession {
             }
             Stmt::CheckConsistency => Outcome::Consistency(db.check_database()),
             Stmt::CheckInvariants => Outcome::Invariants(db.check_invariants()),
+            // Replica scrubbing runs at the storage layer (the follower's
+            // `scrub_cycle` with ScrubPull escalation), so no TCQL-level
+            // cycle is ever recorded here — status still reports the
+            // live quarantine set.
+            Stmt::ScrubStatus => {
+                Outcome::Scrub(crate::interp::render_scrub_status(None, db))
+            }
             // `mutating_kind` covered everything else.
             _ => unreachable!("mutating statement slipped past the whitelist"),
         })
@@ -121,13 +128,18 @@ fn mutating_kind(stmt: &Stmt) -> Option<&'static str> {
         Stmt::Terminate { .. } => Some("TERMINATE"),
         Stmt::Tick(_) => Some("TICK"),
         Stmt::AdvanceTo(_) => Some("ADVANCE TO"),
+        // A scrub repairs derived structures in place — a mutation the
+        // follower must receive through the storage-layer ladder, never
+        // through the query front door.
+        Stmt::ScrubNow => Some("SCRUB NOW"),
         Stmt::Select(_)
         | Stmt::Explain(_)
         | Stmt::ShowClass(_)
         | Stmt::Compare { .. }
         | Stmt::CheckConstraint(_)
         | Stmt::CheckConsistency
-        | Stmt::CheckInvariants => None,
+        | Stmt::CheckInvariants
+        | Stmt::ScrubStatus => None,
     }
 }
 
@@ -217,5 +229,19 @@ mod tests {
             .run_script(&db, "check consistency; tick 1; check invariants")
             .unwrap_err();
         assert!(matches!(err, QueryError::ReadOnly { stmt: "TICK" }));
+    }
+
+    #[test]
+    fn scrub_now_is_refused_but_status_serves() {
+        let db = populated();
+        let mut s = ReplicaSession::new();
+        let err = s.run(&db, "scrub now").unwrap_err();
+        assert!(matches!(err, QueryError::ReadOnly { stmt: "SCRUB NOW" }));
+        match s.run(&db, "scrub status") {
+            Ok(Outcome::Scrub(out)) => {
+                assert!(out.contains("quarantine: empty"), "{out}");
+            }
+            other => panic!("expected scrub status, got {other:?}"),
+        }
     }
 }

@@ -79,6 +79,14 @@ pub enum EngineError {
         /// Consecutive surfaced write failures that opened the breaker.
         consecutive_failures: u32,
     },
+    /// The class is quarantined by the integrity scrubber: corruption
+    /// was detected and no repair rung (index rebuild, op-log
+    /// re-materialization, replica pull) could restore a clean state.
+    /// Every other class keeps serving reads and writes.
+    Quarantined {
+        /// The quarantined class.
+        class: tchimera_core::ClassId,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -108,6 +116,11 @@ impl std::fmt::Display for EngineError {
                 "engine is read-only: circuit breaker opened after \
                  {consecutive_failures} consecutive write failures"
             ),
+            EngineError::Quarantined { class } => write!(
+                f,
+                "class `{class}` is quarantined by the integrity scrubber \
+                 (unrepaired corruption); other classes keep serving"
+            ),
         }
     }
 }
@@ -116,7 +129,13 @@ impl std::error::Error for EngineError {}
 
 impl From<ModelError> for EngineError {
     fn from(e: ModelError) -> Self {
-        EngineError::Model(e)
+        // Surface the scrubber's quarantine as the engine-level variant
+        // so callers can match one type regardless of which layer the
+        // guard fired in.
+        match e {
+            ModelError::Quarantined { class } => EngineError::Quarantined { class },
+            other => EngineError::Model(other),
+        }
     }
 }
 impl From<LogError> for EngineError {
@@ -405,6 +424,20 @@ impl PersistentDatabase {
         digest_database(&self.db)
     }
 
+    /// Mutable access to the live state, bypassing the operation log.
+    ///
+    /// This is a **fault-injection hook** for scrubber tests (the chaos
+    /// harness corrupts live structures with `SimMem` and asserts the
+    /// scrub ladder repairs them). Any mutation made through it is
+    /// *unlogged* and therefore exactly the kind of divergence the
+    /// scrubber exists to catch. Compiled only under `cfg(test)` or the
+    /// `testing` feature.
+    #[doc(hidden)]
+    #[cfg(any(test, feature = "testing"))]
+    pub fn db_mut_for_test(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
     /// Reject writes while the breaker is open.
     fn guard_writes(&self) -> Result<(), EngineError> {
         if self.breaker.allows_writes() {
@@ -686,7 +719,7 @@ impl PersistentDatabase {
         digest: u64,
     ) -> Result<(), EngineError> {
         self.guard_writes()?;
-        let db = Database::import_state(state)?;
+        let mut db = Database::import_state(state)?;
         if digest_database(&db) != digest {
             return Err(EngineError::Snapshot(SnapshotError::Corrupt(
                 "shipped state image does not match its digest",
@@ -702,6 +735,11 @@ impl PersistentDatabase {
             return Err(EngineError::Log(e));
         }
         self.breaker.note_success();
+        // Keep the admission and quarantine gates shared with existing
+        // clones: an anti-entropy install must be visible through every
+        // handle (and lets the caller lift a quarantine it can still
+        // reach).
+        db.adopt_shared_handles(&self.db);
         self.db = db;
         self.recovered_ops = ops_covered as usize;
         self.diverged = false;
@@ -716,6 +754,137 @@ impl PersistentDatabase {
     pub fn scan_log(&self) -> Result<LogScan, EngineError> {
         let buf = self.vfs.read(self.log.path()).map_err(LogError::from)?;
         Ok(OpLog::scan_bytes(&buf))
+    }
+
+    // -- integrity scrubbing -----------------------------------------------
+
+    /// One full scrub cycle with an unlimited budget. See
+    /// [`PersistentDatabase::scrub_cycle_with`].
+    pub fn scrub_cycle(&mut self) -> StorageScrubReport {
+        self.scrub_cycle_with(&mut |_| true)
+    }
+
+    /// One scrub cycle over the full stack, in bounded chargeable steps
+    /// (`charge` as in `Database::scrub_cycle_with`).
+    ///
+    /// Verification order matches the repair ladder of `DESIGN.md` §15:
+    ///
+    /// 1. **Derived structures** — the core scrubber verifies and
+    ///    rebuilds extent/attr/ref indexes in place (rung 1).
+    /// 2. **Durable media** — the log is re-scanned through the `Vfs`
+    ///    (CRC re-verification; damage funnels through the same
+    ///    `storage.log.scan.damaged` path as recovery) and the snapshot
+    ///    is re-loaded and digest-checked.
+    /// 3. **State ↔ history equivalence** — when durable history is
+    ///    complete, the live state's digest is compared against a full
+    ///    re-materialization; divergence adopts the rebuilt state
+    ///    (rung 2) and lifts any quarantine.
+    /// 4. **Durability repair** — when durable history is *incomplete*
+    ///    but the live state passes the consistency sweep, the live
+    ///    state is re-checkpointed so the damaged history is superseded.
+    /// 5. **Escalation** — damaged history *and* damaged live state:
+    ///    no local clean source exists. Affected classes are
+    ///    quarantined (rung 4) and `needs_replica` asks the caller to
+    ///    run the `Frame::ScrubPull` anti-entropy exchange (rung 3),
+    ///    which lifts the quarantine on success.
+    pub fn scrub_cycle_with(&mut self, charge: &mut dyn FnMut(u64) -> bool) -> StorageScrubReport {
+        let mut report = StorageScrubReport {
+            core: self.db.scrub_cycle_with(charge),
+            snapshot_ok: true,
+            ..StorageScrubReport::default()
+        };
+
+        // Durable media re-verification. Best-effort sync first so
+        // buffered appends are scanned too (`Vfs::read` sees them
+        // regardless; a failed sync must not abort a scrub).
+        let _ = self.log.sync();
+        let scan = match self.vfs.read(self.log.path()) {
+            Ok(buf) => Some(OpLog::scan_bytes(&buf)),
+            Err(_) => None,
+        };
+        let (durable_total, base) = match &scan {
+            Some(s) => {
+                if s.torn_tail {
+                    report.log_damage += 1;
+                }
+                (s.base_op as usize + s.ops.len(), s.base_op)
+            }
+            None => {
+                report.log_damage += 1;
+                (0, 0)
+            }
+        };
+        if base > 0 {
+            report.snapshot_ok = match self.load_own_snapshot() {
+                Ok(snap) => match Database::import_state(snap.state) {
+                    Ok(db) => digest_database(&db) == snap.digest,
+                    Err(_) => false,
+                },
+                Err(_) => false,
+            };
+        }
+
+        let rebuilt = if report.snapshot_ok {
+            self.rebuild_from_storage().ok()
+        } else {
+            None
+        };
+        report.durable_complete =
+            rebuilt.is_some() && report.log_damage == 0 && durable_total == self.op_count();
+
+        if report.durable_complete {
+            // Rung 2 — the durable history is intact and authoritative:
+            // any live/rebuilt digest divergence means resident state
+            // damage, repaired by adopting the re-materialization.
+            let rebuilt = rebuilt.expect("durable_complete implies rebuilt");
+            if digest_database(&self.db) != digest_database(&rebuilt) {
+                report.state_divergence = true;
+                report.diverged_classes = diverged_classes(&self.db, &rebuilt);
+                let mut fresh = rebuilt;
+                fresh.adopt_shared_handles(&self.db);
+                self.db = fresh;
+                self.db.quarantine().clear();
+                self.diverged = false;
+                report.rematerialized = true;
+                tchimera_obs::counter!("core.scrub.repairs.rematerialize").inc();
+            }
+        } else if report.core.consistency_errors == 0 {
+            // Durable history is damaged but the live state passes the
+            // full sweep: the live copy is the best available source.
+            // Re-checkpointing supersedes the damaged history (snapshot
+            // of the live state + compacted log).
+            match self.checkpoint() {
+                Ok(()) => {
+                    report.checkpoint_repair = true;
+                    tchimera_obs::counter!("core.scrub.repairs.rematerialize").inc();
+                }
+                Err(_) => {
+                    // Read-only or still-failing media: nothing local
+                    // can restore durability — ask for a replica pull.
+                    report.needs_replica = true;
+                }
+            }
+        } else {
+            // No local clean source: quarantine what the sweep could
+            // attribute (rung 4) and escalate to anti-entropy (rung 3).
+            let mut classes: Vec<ClassId> = report
+                .core
+                .findings
+                .iter()
+                .filter_map(|f| match f {
+                    tchimera_core::ScrubFinding::Consistency { class, .. } => class.clone(),
+                    _ => None,
+                })
+                .collect();
+            classes.sort();
+            classes.dedup();
+            for class in &classes {
+                self.db.quarantine_class(class);
+            }
+            report.quarantined = classes;
+            report.needs_replica = true;
+        }
+        report
     }
 
     // -- mirrored mutations ------------------------------------------------
@@ -795,6 +964,132 @@ impl PersistentDatabase {
     pub fn terminate_object(&mut self, oid: Oid) -> Result<(), EngineError> {
         self.execute(Operation::Terminate { oid })
     }
+}
+
+/// The outcome of one storage-level scrub cycle
+/// ([`PersistentDatabase::scrub_cycle`]): the core report plus the
+/// durable-media verdicts and which repair rungs fired.
+#[derive(Debug, Default)]
+pub struct StorageScrubReport {
+    /// The in-memory (rung 1) scrub outcome.
+    pub core: tchimera_core::ScrubReport,
+    /// Damaged regions found re-scanning the log through the `Vfs`
+    /// (reported through the same `storage.log.scan.damaged` path as
+    /// recovery scans).
+    pub log_damage: usize,
+    /// The snapshot (when one exists) loaded, imported, and matched its
+    /// recorded digest.
+    pub snapshot_ok: bool,
+    /// Every logical operation is reconstructible from durable storage.
+    pub durable_complete: bool,
+    /// The live state's digest diverged from a full re-materialization
+    /// of the durable history.
+    pub state_divergence: bool,
+    /// Classes whose state differed between live and re-materialized
+    /// copies (populated on divergence, before repair).
+    pub diverged_classes: Vec<ClassId>,
+    /// Rung 2 fired: the re-materialized state was adopted.
+    pub rematerialized: bool,
+    /// Damaged durable history was superseded by re-checkpointing a
+    /// consistent live state.
+    pub checkpoint_repair: bool,
+    /// Classes quarantined this cycle (rung 4).
+    pub quarantined: Vec<ClassId>,
+    /// No local clean source exists: the caller should run the
+    /// `Frame::ScrubPull` anti-entropy exchange against a live primary.
+    pub needs_replica: bool,
+}
+
+impl StorageScrubReport {
+    /// Nothing wrong anywhere: memory, indexes, log, and snapshot all
+    /// verified clean.
+    pub fn clean(&self) -> bool {
+        self.core.clean()
+            && self.log_damage == 0
+            && self.snapshot_ok
+            && self.durable_complete
+            && !self.state_divergence
+    }
+
+    /// The cycle ended with a healthy, durable state: either it was
+    /// already clean, every rung-1 divergence was repaired in place over
+    /// intact durable media, or a rung-2 repair (re-materialization /
+    /// re-checkpoint) succeeded. `false` whenever replica anti-entropy
+    /// is still required.
+    pub fn healthy_after(&self) -> bool {
+        if self.needs_replica {
+            return false;
+        }
+        if self.rematerialized || self.checkpoint_repair {
+            return true;
+        }
+        self.core.fully_repaired()
+            && self.durable_complete
+            && self.snapshot_ok
+            && !self.state_divergence
+    }
+}
+
+/// The classes whose observable state differs between two databases:
+/// class-level damage (lifespan, hierarchy, c-attributes, extents) is
+/// attributed directly; object-level damage is attributed to the
+/// object's most recent class. A clock divergence poisons everything
+/// and returns every class. Used to scope quarantine to the damaged
+/// classes so the rest of the database keeps serving.
+pub fn diverged_classes(live: &Database, authoritative: &Database) -> Vec<ClassId> {
+    use std::collections::BTreeSet;
+    let mut out: BTreeSet<ClassId> = BTreeSet::new();
+    if live.now() != authoritative.now() {
+        return authoritative.schema().classes().map(|c| c.id.clone()).collect();
+    }
+    let class_digest = |db: &Database, id: &ClassId| -> Option<u64> {
+        let class = db.schema().classes().find(|c| &c.id == id)?;
+        let mut h = DefaultHasher::new();
+        class.lifespan.hash(&mut h);
+        class.superclasses.hash(&mut h);
+        for (n, v) in &class.c_attr_values {
+            n.hash(&mut h);
+            v.hash(&mut h);
+        }
+        let mut members: Vec<Oid> = class.ever_members().collect();
+        members.sort();
+        for i in members {
+            i.hash(&mut h);
+            class.membership_of(i, db.now()).intervals().hash(&mut h);
+            class
+                .proper_membership_of(i, db.now())
+                .intervals()
+                .hash(&mut h);
+        }
+        Some(h.finish())
+    };
+    let ids: BTreeSet<ClassId> = live
+        .schema()
+        .classes()
+        .chain(authoritative.schema().classes())
+        .map(|c| c.id.clone())
+        .collect();
+    for id in ids {
+        if class_digest(live, &id) != class_digest(authoritative, &id) {
+            out.insert(id);
+        }
+    }
+    for o in authoritative.objects() {
+        let differs = live.object(o.oid).map(|l| l != o).unwrap_or(true);
+        if differs {
+            if let Some(e) = o.class_history.entries().last() {
+                out.insert(e.value.clone());
+            }
+        }
+    }
+    for o in live.objects() {
+        if authoritative.object(o.oid).is_err() {
+            if let Some(e) = o.class_history.entries().last() {
+                out.insert(e.value.clone());
+            }
+        }
+    }
+    out.into_iter().collect()
 }
 
 /// Digest a database's observable state (order-stable).
@@ -1148,5 +1443,121 @@ mod tests {
         assert_eq!(pdb.recovered_replayed(), 0);
         assert_eq!(pdb.recovered_ops(), 8);
         assert_eq!(pdb.state_digest(), digest);
+    }
+
+    // -- integrity scrubbing ---------------------------------------------
+
+    #[test]
+    fn scrub_on_a_clean_store_is_a_clean_noop() {
+        let path = tmp("scrub-clean");
+        let mut pdb = PersistentDatabase::open(&path).unwrap();
+        populate(&mut pdb);
+        pdb.sync().unwrap();
+        let digest = pdb.state_digest();
+        let report = pdb.scrub_cycle();
+        assert!(report.clean(), "clean store must scrub clean: {report:?}");
+        assert!(report.healthy_after());
+        assert_eq!(pdb.state_digest(), digest, "a clean scrub must not change state");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn scrub_repairs_derived_index_damage_in_place() {
+        let path = tmp("scrub-index");
+        let mut pdb = PersistentDatabase::open(&path).unwrap();
+        populate(&mut pdb);
+        pdb.sync().unwrap();
+        let mut sim = tchimera_core::SimMem::new(3);
+        let fault = sim.corrupt_index(pdb.db_mut_for_test()).expect("something to corrupt");
+        let report = pdb.scrub_cycle();
+        assert!(report.core.divergences >= 1, "fault {fault:?} missed: {report:?}");
+        assert!(report.healthy_after(), "rung-1 repair must restore health: {report:?}");
+        assert!(!report.needs_replica);
+        // The repaired store scrubs clean on the next cycle.
+        assert!(pdb.scrub_cycle().clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn scrub_rematerializes_unlogged_live_damage() {
+        let path = tmp("scrub-remat");
+        let mut pdb = PersistentDatabase::open(&path).unwrap();
+        populate(&mut pdb);
+        pdb.sync().unwrap();
+        let digest = pdb.state_digest();
+        let mut sim = tchimera_core::SimMem::new(7);
+        let fault = sim.corrupt_base(pdb.db_mut_for_test()).expect("objects exist");
+        assert_ne!(pdb.state_digest(), digest, "base flip must change the digest");
+        let report = pdb.scrub_cycle();
+        assert!(report.state_divergence, "fault {fault:?} missed: {report:?}");
+        assert!(report.rematerialized);
+        assert!(!report.diverged_classes.is_empty(), "damage must be attributed");
+        assert!(report.healthy_after());
+        assert_eq!(pdb.state_digest(), digest, "re-materialization must restore the exact state");
+        assert!(pdb.scrub_cycle().clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn scrub_recheckpoints_when_durable_history_is_damaged() {
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let path = PathBuf::from("scrub.log");
+        let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+        populate(&mut pdb);
+        pdb.sync().unwrap();
+        let digest = pdb.state_digest();
+        // Damage the durable log: the live state is fine but history can
+        // no longer be replayed in full.
+        let len = vfs.read(&path).unwrap().len();
+        fs.corrupt_byte(&path, len - 6, 0x40).unwrap();
+        let report = pdb.scrub_cycle();
+        assert!(!report.clean());
+        assert!(report.log_damage > 0, "{report:?}");
+        assert!(report.checkpoint_repair, "{report:?}");
+        assert!(report.healthy_after());
+        assert_eq!(pdb.state_digest(), digest, "live state must be untouched");
+        // The re-checkpoint superseded the damage: next cycle is clean,
+        // and a crash-reopen recovers the full state.
+        assert!(pdb.scrub_cycle().clean());
+        drop(pdb);
+        let pdb = PersistentDatabase::open_with(vfs, &path).unwrap();
+        assert_eq!(pdb.state_digest(), digest);
+    }
+
+    #[test]
+    fn scrub_quarantines_when_no_local_clean_source_exists() {
+        let fs = SimFs::new();
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let path = PathBuf::from("scrub-quarantine.log");
+        let mut pdb = PersistentDatabase::open_with(Arc::clone(&vfs), &path).unwrap();
+        let i = populate(&mut pdb);
+        pdb.sync().unwrap();
+        // Damage the durable log AND the live base state (a type
+        // violation the consistency sweep can attribute): neither copy
+        // can repair the other.
+        let len = vfs.read(&path).unwrap().len();
+        fs.corrupt_byte(&path, len - 6, 0x40).unwrap();
+        let mut broken = pdb.db().object(i).unwrap().clone();
+        broken.attrs.insert("address".into(), Value::Int(3));
+        pdb.db_mut_for_test().replace_object_for_test(broken);
+        let report = pdb.scrub_cycle();
+        assert!(report.core.consistency_errors > 0, "{report:?}");
+        assert!(report.needs_replica, "{report:?}");
+        assert!(!report.quarantined.is_empty(), "damage must be fenced: {report:?}");
+        assert!(!report.healthy_after());
+        // The quarantined class refuses to serve; every other class
+        // keeps working.
+        let bad = report.quarantined[0].clone();
+        let now = pdb.db().now();
+        assert!(matches!(
+            pdb.db().pi(&bad, now),
+            Err(tchimera_core::ModelError::Quarantined { .. })
+        ));
+        let other = ClassId::from(if bad == ClassId::from("person") { "employee" } else { "person" });
+        assert!(pdb.db().pi(&other, now).is_ok(), "healthy class must keep serving");
+        // Typed error surfaces through the engine conversion too.
+        let err = EngineError::from(tchimera_core::ModelError::Quarantined { class: bad.clone() });
+        assert!(matches!(err, EngineError::Quarantined { class } if class == bad));
     }
 }

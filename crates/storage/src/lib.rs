@@ -55,7 +55,10 @@ pub mod txn;
 pub mod vfs;
 
 pub use codec::{Codec, CodecError, Reader};
-pub use engine::{digest_database, snapshot_path, EngineConfig, EngineError, PersistentDatabase};
+pub use engine::{
+    digest_database, diverged_classes, snapshot_path, EngineConfig, EngineError,
+    PersistentDatabase, StorageScrubReport,
+};
 pub use index::{IntervalTree, TemporalIndex};
 pub use log::{DamageReason, LogError, LogScan, OpLog, TailDamage};
 pub use observability::{touch_metrics, REPL_METRICS, STORAGE_METRICS};

@@ -111,6 +111,24 @@ pub struct TailDamage {
     pub reason: DamageReason,
 }
 
+/// The single reporting path for scan damage: every scan — the open-time
+/// recovery scan, transaction-time inspection, and the scrubber's
+/// re-verification — funnels damage through this one function so the
+/// `storage.log.scan.damaged` counter and its warn event mean the same
+/// thing regardless of who found the damage.
+pub(crate) fn report_scan_damage(damage: Option<&TailDamage>) {
+    if let Some(d) = damage {
+        tchimera_obs::counter!("storage.log.torn_tails").inc();
+        tchimera_obs::counter!("storage.log.scan.damaged").inc();
+        tchimera_obs::event!(
+            "storage.log.scan.damaged",
+            level = "warn",
+            offset = d.offset,
+            reason = d.reason
+        );
+    }
+}
+
 /// The outcome of opening a log: the decoded operations plus tail
 /// diagnostics.
 pub struct LogScan {
@@ -268,16 +286,7 @@ impl OpLog {
         }
         let valid_len = damage.as_ref().map_or(pos as u64, |d| d.offset);
         tchimera_obs::counter!("storage.log.scanned_ops").add(ops.len() as u64);
-        if let Some(d) = &damage {
-            tchimera_obs::counter!("storage.log.torn_tails").inc();
-            tchimera_obs::counter!("storage.log.scan.damaged").inc();
-            tchimera_obs::event!(
-                "storage.log.scan.damaged",
-                level = "warn",
-                offset = d.offset,
-                reason = d.reason
-            );
-        }
+        report_scan_damage(damage.as_ref());
         LogScan {
             ops,
             base_op,

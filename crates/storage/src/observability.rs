@@ -64,6 +64,7 @@ pub const REPL_METRICS: &[&str] = &[
     "repl.ops.shipped",
     "repl.promotions",
     "repl.replica.lag",
+    "repl.scrub.pulls",
     "repl.snapshot.ships",
     "repl.stale_reads.refused",
     "repl.term",

@@ -78,6 +78,21 @@ pub enum Frame {
         /// Global index to resume shipping from.
         from: u64,
     },
+    /// Replica → primary anti-entropy request from the integrity
+    /// scrubber: the replica found corruption it cannot repair locally
+    /// (damaged log *and* damaged or unverifiable live state) and asks
+    /// for an authoritative full state image. The primary answers with
+    /// a [`Frame::Snapshot`] at its current head regardless of how far
+    /// the replica has applied.
+    ScrubPull {
+        /// Sender's replication term.
+        term: u64,
+        /// Replica's applied watermark (diagnostic; the primary ships
+        /// its full head either way).
+        applied: u64,
+        /// Replica's current `state_digest()` (diagnostic).
+        digest: u64,
+    },
 }
 
 impl Frame {
@@ -88,7 +103,8 @@ impl Frame {
             | Frame::Snapshot { term, .. }
             | Frame::Heartbeat { term, .. }
             | Frame::Ack { term, .. }
-            | Frame::CatchUp { term, .. } => *term,
+            | Frame::CatchUp { term, .. }
+            | Frame::ScrubPull { term, .. } => *term,
         }
     }
 
@@ -156,6 +172,12 @@ impl Codec for Frame {
                 write_u64(out, *term);
                 write_u64(out, *from);
             }
+            Frame::ScrubPull { term, applied, digest } => {
+                out.push(5);
+                write_u64(out, *term);
+                write_u64(out, *applied);
+                write_u64(out, *digest);
+            }
         }
     }
 
@@ -188,6 +210,11 @@ impl Codec for Frame {
             },
             3 => Frame::Ack { term: read_u64(r)?, applied: read_u64(r)? },
             4 => Frame::CatchUp { term: read_u64(r)?, from: read_u64(r)? },
+            5 => Frame::ScrubPull {
+                term: read_u64(r)?,
+                applied: read_u64(r)?,
+                digest: read_u64(r)?,
+            },
             tag => return Err(CodecError::InvalidTag { what: "repl frame", tag }),
         })
     }
@@ -245,6 +272,7 @@ mod tests {
             digest: 17,
             state: vec![1, 2, 3, 0xff],
         });
+        wire_round_trip(&Frame::ScrubPull { term: 6, applied: 12, digest: 0x0123_4567 });
     }
 
     #[test]
@@ -263,6 +291,13 @@ mod tests {
         }
         for cut in 0..wire.len() {
             assert!(Frame::from_wire(&wire[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+        // The anti-entropy request gets the same guarantee.
+        let wire = Frame::ScrubPull { term: 1, applied: 8, digest: 0xfeed }.to_wire();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x01;
+            assert!(Frame::from_wire(&bad).is_err(), "flip at byte {i} accepted");
         }
     }
 }

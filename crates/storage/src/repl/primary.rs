@@ -38,6 +38,10 @@ pub struct Primary<T: Transport> {
     /// Follower's cumulative acknowledged watermark.
     acked: u64,
     deposed: bool,
+    /// A follower's scrubber asked for an authoritative state image
+    /// ([`Frame::ScrubPull`]); the next pump ships a full snapshot
+    /// regardless of the shipping cursor.
+    scrub_pull: bool,
     transport: T,
 }
 
@@ -49,7 +53,7 @@ impl<T: Transport> Primary<T> {
     pub fn new(pdb: PersistentDatabase, term: u64, transport: T) -> Primary<T> {
         crate::observability::touch_metrics();
         tchimera_obs::gauge!("repl.term").set(term as i64);
-        Primary { pdb, term, cursor: 0, acked: 0, deposed: false, transport }
+        Primary { pdb, term, cursor: 0, acked: 0, deposed: false, scrub_pull: false, transport }
     }
 
     /// The wrapped database (writable while this node holds the term).
@@ -112,9 +116,11 @@ impl<T: Transport> Primary<T> {
         let total = self.pdb.op_count() as u64;
         let digest = self.pdb.state_digest();
         let scan = self.pdb.scan_log()?;
-        if self.cursor < scan.base_op {
+        if self.cursor < scan.base_op || self.scrub_pull {
             // The follower needs records that were compacted into the
-            // local snapshot: ship the full current state image instead.
+            // local snapshot — or its scrubber asked for an authoritative
+            // image (anti-entropy): ship the full current state instead.
+            self.scrub_pull = false;
             let state = self.pdb.db().export_state();
             self.transport.send(
                 Frame::Snapshot {
@@ -179,6 +185,14 @@ impl<T: Transport> Primary<T> {
                 Frame::CatchUp { from, .. } => {
                     tchimera_obs::counter!("repl.catchup.requests").inc();
                     self.cursor = self.cursor.min(from);
+                }
+                Frame::ScrubPull { .. } => {
+                    // A follower's scrubber found locally-unrepairable
+                    // corruption: answer with a full state image on the
+                    // next pump (the carried watermark/digest are
+                    // diagnostics only — ship the head unconditionally).
+                    tchimera_obs::counter!("repl.scrub.pulls").inc();
+                    self.scrub_pull = true;
                 }
                 // Batches/snapshots/heartbeats only flow primary→replica;
                 // stale or reflected ones are ignored.

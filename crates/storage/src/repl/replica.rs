@@ -59,6 +59,11 @@ pub struct Replica<T: Transport> {
     /// Highest primary op count heard (from batches and heartbeats).
     primary_total: u64,
     halted: Option<&'static str>,
+    /// A [`Frame::ScrubPull`] is outstanding: the local scrubber found
+    /// corruption it cannot repair and the next snapshot ship from the
+    /// primary is installed unconditionally (even over a halted replica
+    /// or at an equal op count).
+    scrub_pending: bool,
     transport: T,
 }
 
@@ -69,7 +74,7 @@ impl<T: Transport> Replica<T> {
     /// durable op count).
     pub fn new(pdb: PersistentDatabase, transport: T) -> Replica<T> {
         crate::observability::touch_metrics();
-        Replica { pdb, term: 0, primary_total: 0, halted: None, transport }
+        Replica { pdb, term: 0, primary_total: 0, halted: None, scrub_pending: false, transport }
     }
 
     /// Operations applied and locally logged (the ack watermark).
@@ -146,11 +151,16 @@ impl<T: Transport> Replica<T> {
                 self.term = frame.term();
                 tchimera_obs::gauge!("repl.term").set(self.term as i64);
             }
-            if self.halted.is_some() {
+            if self.halted.is_some() && !self.scrub_pending {
                 continue;
             }
             match frame {
                 Frame::Batch { start, ops, commit_digest, .. } => {
+                    if self.halted.is_some() {
+                        // Awaiting an authoritative image; incremental
+                        // records would replay onto a diverged state.
+                        continue;
+                    }
                     let applied = self.applied();
                     let end = start + ops.len() as u64;
                     if start > applied {
@@ -171,7 +181,7 @@ impl<T: Transport> Replica<T> {
                     }
                 }
                 Frame::Snapshot { ops_covered, digest, state, .. } => {
-                    if ops_covered <= self.applied() {
+                    if !self.scrub_pending && ops_covered <= self.applied() {
                         continue; // stale or duplicate image
                     }
                     let image = match DatabaseState::from_bytes(&state) {
@@ -184,8 +194,20 @@ impl<T: Transport> Replica<T> {
                     };
                     self.pdb.install_snapshot_image(image, ops_covered, digest)?;
                     self.primary_total = self.primary_total.max(ops_covered);
+                    if self.scrub_pending {
+                        // Anti-entropy repair: the authoritative image
+                        // replaced whatever was corrupt, so the halt and
+                        // any scrubber quarantine are lifted.
+                        self.scrub_pending = false;
+                        self.halted = None;
+                        self.pdb.db().quarantine().clear();
+                        tchimera_obs::counter!("core.scrub.repairs.replica_pull").inc();
+                    }
                 }
                 Frame::Heartbeat { total, digest, .. } => {
+                    if self.halted.is_some() {
+                        continue;
+                    }
                     self.primary_total = self.primary_total.max(total);
                     if self.applied() < total {
                         want_catchup = true;
@@ -214,6 +236,38 @@ impl<T: Transport> Replica<T> {
     /// Make the replica's applied prefix durable on its own disk.
     pub fn sync(&mut self) -> Result<(), EngineError> {
         self.pdb.sync()
+    }
+
+    /// Ask the primary for an authoritative full state image
+    /// ([`Frame::ScrubPull`] anti-entropy). Used by the scrubber when
+    /// local repair is exhausted: the next [`Frame::Snapshot`] received
+    /// is installed unconditionally, clearing any halt and quarantine.
+    pub fn request_scrub_repair(&mut self) {
+        self.scrub_pending = true;
+        self.transport.send(
+            Frame::ScrubPull {
+                term: self.term,
+                applied: self.applied(),
+                digest: self.pdb.state_digest(),
+            }
+            .to_wire(),
+        );
+    }
+
+    /// `true` while an anti-entropy pull is outstanding.
+    pub fn scrub_pending(&self) -> bool {
+        self.scrub_pending
+    }
+
+    /// Run one full scrub cycle on the local database and, when local
+    /// repair is exhausted ([`crate::StorageScrubReport::needs_replica`]),
+    /// escalate to the primary via [`Replica::request_scrub_repair`].
+    pub fn scrub_cycle(&mut self) -> crate::StorageScrubReport {
+        let report = self.pdb.scrub_cycle();
+        if report.needs_replica {
+            self.request_scrub_repair();
+        }
+        report
     }
 
     /// Compare this replica's digest against the primary's at an exactly
